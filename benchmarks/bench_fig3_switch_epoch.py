@@ -1,0 +1,78 @@
+"""Fig. 3 — test accuracy vs epoch for different phi_TTFS switch epochs.
+
+The paper trains VGG-16 for 200 epochs (LR /10 at 80/120/160) and
+switches the hidden activation to phi_TTFS at epochs {40, 90, 100, 170,
+180}: switching while LR > 1e-3 crashes training, switching after the
+last LR drop (>= 160) is stable, and epoch 170 is selected.
+
+At bench scale the run is 10 epochs with LR drops at {5, 7, 8}; the
+scaled switch epochs {2, 4, 5, 8, 9} mirror the paper's early/late
+split (before vs after the final LR drop).
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+
+from conftest import BENCH_EPOCHS, save_result
+
+#: scaled analogues of the paper's {40, 90, 100, 170, 180}
+SWITCH_EPOCHS = (2, 4, 5, 8, 9)
+LATE_SWITCHES = (8, 9)  # after the final LR drop, like paper's {170, 180}
+
+
+def test_fig3_switch_epoch_sweep(benchmark, bench_c10):
+    """One training run per switch epoch; accuracy curves recorded.
+
+    Bench conditions that elicit the paper's instability at VGG-7 scale:
+    a high base LR (0.4) and a very coarse 4-level grid (T=3, tau=0.5).
+    At this scale an early switch does not collapse to chance as the
+    200-epoch VGG-16 does — the small network partially recovers — but
+    it ends with a persistent accuracy deficit, the same ordering the
+    paper reports.
+    """
+    from repro.cat import CATTrainer
+    from repro.nn import init as nninit, vgg7
+    from conftest import bench_config
+
+    dataset = bench_c10
+    histories = {}
+
+    def train_all():
+        out = {}
+        for switch in SWITCH_EPOCHS:
+            nninit.seed(3)
+            model = vgg7(num_classes=dataset.num_classes, input_size=16)
+            cfg = bench_config(method="I+II+III", window=3, tau=0.5,
+                               ttfs_epoch=switch, lr=0.4)
+            result = CATTrainer(model, dataset, cfg).run()
+            out[switch] = result
+        return out
+
+    histories = benchmark.pedantic(train_all, rounds=1, iterations=1)
+
+    curves = {f"switch@{s}": np.round(histories[s].accuracy_curve(), 3)
+              for s in SWITCH_EPOCHS}
+    table = format_series(list(range(BENCH_EPOCHS)), curves,
+                          title=("Fig. 3 test accuracy vs epoch "
+                                 "(scaled: LR/10 at 5/7/8; paper switches "
+                                 "{40,90,100,170,180} of 200)"),
+                          x_label="epoch")
+
+    # Shape criteria: the best final accuracy must come from a late
+    # switch (after the final LR drop), and late switches must dominate
+    # the early ones on average — the scaled analogue of the paper's
+    # "crash below 160 / stable at 170+".
+    final_accs = {s: histories[s].final_test_acc for s in SWITCH_EPOCHS}
+    early = [final_accs[s] for s in SWITCH_EPOCHS if s not in LATE_SWITCHES]
+    late = [final_accs[s] for s in LATE_SWITCHES]
+    summary = (
+        f"final accuracies: {({k: round(v, 3) for k, v in final_accs.items()})}\n"
+        f"(paper: switching at LR>1e-3 crashes VGG-16 training; late "
+        f"switches {LATE_SWITCHES} ~ paper's stable 170/180; at bench "
+        f"scale the early-switch penalty is a persistent deficit rather "
+        f"than a collapse)"
+    )
+    save_result("fig3_switch_epoch", f"{table}\n\n{summary}")
+    assert max(late) >= max(early), final_accs
+    assert np.mean(late) >= np.mean(early) - 0.01, final_accs

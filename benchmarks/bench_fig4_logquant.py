@@ -1,0 +1,107 @@
+"""Fig. 4 — accuracy vs weight bit width for three log bases.
+
+The paper sweeps post-training logarithmic quantisation of the CAT
+VGG-16 over bit widths 4..8 for a_w in {2, 2^-1/2, 2^-1/4} at both
+kernel points, and selects 5-bit / a_w = 2^-1/2 for the hardware.
+
+Shape criteria: accuracy is (weakly) monotone in bit width for every
+base; fp32 is the ceiling; the paper's selected base a_w = 2^-1/2
+(z_w = 1) is at least as good as a_w = 2 (z_w = 0) at 5 bits.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, paper
+from repro.quant import accuracy_vs_bits
+
+from conftest import save_result
+
+BITS = paper.FIG4_BIT_WIDTHS  # (4, 5, 6, 7, 8)
+BASE_LABELS = {0: "a_w=2", 1: "a_w=2^-1/2", 2: "a_w=2^-1/4"}
+
+
+def test_fig4_quantization_sweep(benchmark, cat_full_snn, bench_c10):
+    results = benchmark.pedantic(
+        accuracy_vs_bits,
+        args=(cat_full_snn, bench_c10.test_x, bench_c10.test_y),
+        kwargs=dict(bit_widths=BITS, z_ws=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+
+    series = {BASE_LABELS[z]: [round(results[z][b], 3) for b in BITS]
+              for z in (0, 1, 2)}
+    series["fp32"] = [round(results["fp32"], 3)] * len(BITS)
+    table = format_series(
+        list(BITS), series,
+        title=("Fig. 4 accuracy vs weight bit width "
+               "(bench VGG-7, scaled T=12 tau=2; paper: VGG-16 CIFAR-100)"),
+        x_label="bits")
+
+    fp32 = results["fp32"]
+    # fp32 ceiling (small tolerance: quantisation can't meaningfully win)
+    for z in (0, 1, 2):
+        for b in BITS:
+            assert results[z][b] <= fp32 + 0.02
+    # weak monotonicity in bits for each base (1 test-image tolerance)
+    tol = 1.5 / len(bench_c10.test_y)
+    for z in (0, 1, 2):
+        accs = [results[z][b] for b in BITS]
+        assert all(b >= a - tol for a, b in zip(accs, accs[1:])), (
+            f"non-monotone for z_w={z}: {accs}")
+    # the paper's selected base is not beaten by plain power-of-two at 5b
+    assert results[1][5] >= results[0][5] - tol
+
+    chosen = paper.FIG4_SELECTED
+    summary = (f"paper selection: {chosen['bits']}b, a_w=2^-1/2 -> "
+               f"measured acc {results[1][5]:.3f} "
+               f"(fp32 ceiling {fp32:.3f})")
+    save_result("fig4_logquant", f"{table}\n\n{summary}")
+
+
+def test_fig4_second_panel_wider_kernel(benchmark, bench_c10):
+    """Fig. 4(b): the same sweep at the wider kernel point (paper T=48,
+    tau=8 -> bench 24/4).  Shape: same monotonicity and base ordering."""
+    from repro.cat import convert
+    from conftest import train_bench_model
+
+    model, cfg = train_bench_model(bench_c10, "I+II+III", 24, 4.0, seed=13)
+    snn = convert(model, cfg, calibration=bench_c10.train_x[:64])
+    results = benchmark.pedantic(
+        accuracy_vs_bits,
+        args=(snn, bench_c10.test_x, bench_c10.test_y),
+        kwargs=dict(bit_widths=BITS, z_ws=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    series = {BASE_LABELS[z]: [round(results[z][b], 3) for b in BITS]
+              for z in (0, 1, 2)}
+    series["fp32"] = [round(results["fp32"], 3)] * len(BITS)
+    table = format_series(list(BITS), series,
+                          title="Fig. 4(b) accuracy vs bits (bench T=24, "
+                                "tau=4; paper T=48, tau=8)", x_label="bits")
+    save_result("fig4_logquant_panel_b", table)
+    tol = 1.5 / len(bench_c10.test_y)
+    for z in (0, 1, 2):
+        accs = [results[z][b] for b in BITS]
+        assert all(b >= a - tol for a, b in zip(accs, accs[1:]))
+    assert results[1][5] >= results[0][5] - tol
+
+
+def test_fig4_quant_error_vs_base(benchmark, cat_full_snn):
+    """Mechanistic check: at 5 bits, a_w=2^-1/2 has the smallest weight
+    MSE on the trained conv tensors, which is why the paper selects it."""
+    from repro.quant import LogQuantConfig, quantization_error
+
+    weights = [s.weight for s in cat_full_snn.weight_layers]
+
+    def mse_by_base():
+        return {z: float(np.mean([quantization_error(w, LogQuantConfig(5, z))
+                                  for w in weights]))
+                for z in (0, 1, 2)}
+
+    errs = benchmark(mse_by_base)
+    assert errs[1] < errs[0]
+    save_result(
+        "fig4_weight_mse",
+        "5-bit weight-quantisation MSE by log base:\n" + "\n".join(
+            f"  {BASE_LABELS[z]}: {errs[z]:.3e}" for z in (0, 1, 2)),
+    )

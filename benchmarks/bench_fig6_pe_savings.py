@@ -1,0 +1,76 @@
+"""Fig. 6 — PE-array area and power savings of the proposed techniques.
+
+Paper numbers (normalised to the T2FSNN-on-SpinalFlow baseline):
+step I (CAT unified kernel: decode SRAM -> LUT) saves 12.7% area /
+14.7% power; step II (linear PE -> log PE) saves a further 8.1% / 8.6%.
+"""
+
+import pytest
+
+from repro.analysis import ascii_bars, paper, paper_vs_measured
+from repro.hw import fig6_design_points
+
+from conftest import save_result
+
+TOL = 0.025  # |measured - paper| tolerance in fraction-of-baseline
+
+
+def test_fig6_pe_array_savings(benchmark):
+    result = benchmark(fig6_design_points)
+
+    rows = [
+        {"metric": "area saving I (CAT)",
+         "paper": paper.FIG6["area_saving_cat"],
+         "measured": round(result.area_saving_cat, 4)},
+        {"metric": "area saving II (log PE)",
+         "paper": paper.FIG6["area_saving_log"],
+         "measured": round(result.area_saving_log, 4)},
+        {"metric": "power saving I (CAT)",
+         "paper": paper.FIG6["power_saving_cat"],
+         "measured": round(result.power_saving_cat, 4)},
+        {"metric": "power saving II (log PE)",
+         "paper": paper.FIG6["power_saving_log"],
+         "measured": round(result.power_saving_log, 4)},
+    ]
+    table = paper_vs_measured(rows, keys=("metric",))
+    series = result.normalized_series()
+    bars = (ascii_bars(series["area"], title="normalised PE-array area")
+            + "\n\n" + ascii_bars(series["power"],
+                                  title="normalised PE-array power"))
+    save_result("fig6_pe_savings", f"{table}\n\n{bars}")
+
+    # Shape: strictly decreasing Base -> I -> I+II on both metrics.
+    assert result.base.area_um2 > result.cat.area_um2 > result.cat_log.area_um2
+    assert result.base.power_mw > result.cat.power_mw > result.cat_log.power_mw
+    # Quantitative: within TOL of the paper's synthesis results.
+    assert result.area_saving_cat == pytest.approx(
+        paper.FIG6["area_saving_cat"], abs=TOL)
+    assert result.area_saving_log == pytest.approx(
+        paper.FIG6["area_saving_log"], abs=TOL)
+    assert result.power_saving_cat == pytest.approx(
+        paper.FIG6["power_saving_cat"], abs=TOL)
+    assert result.power_saving_log == pytest.approx(
+        paper.FIG6["power_saving_log"], abs=TOL)
+
+
+def test_fig6_savings_scale_with_layer_count(benchmark):
+    """Ablation: the baseline's decode-SRAM cost (and hence step-I
+    saving) grows with the number of per-layer kernels it must store."""
+    from repro.hw import baseline_config, pe_array_report, proposed_config
+
+    def sweep():
+        out = {}
+        for layers in (8, 16, 32):
+            base = pe_array_report(baseline_config().with_(
+                num_layer_kernels=layers))
+            cat = pe_array_report(proposed_config())
+            out[layers] = 1.0 - cat.area_um2 / base.area_um2
+        return out
+
+    savings = benchmark(sweep)
+    assert savings[8] < savings[16] < savings[32]
+    save_result(
+        "fig6_layer_sweep",
+        "step-I area saving vs baseline kernel-table depth:\n" + "\n".join(
+            f"  {n} layer kernels: {s:.3f}" for n, s in savings.items()),
+    )

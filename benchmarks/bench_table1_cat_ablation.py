@@ -1,0 +1,87 @@
+"""Table 1 — accuracies (conversion losses) of the CAT components.
+
+Paper: VGG-16 on CIFAR-10/100/Tiny-ImageNet, methods I / I+II / I+II+III
+at (T, tau) in {48/8, 24/4, 12/2}.  Bench: VGG-7 on two synthetic
+stand-ins at the 2x-scaled points {24/4, 12/2, 6/1}.
+
+Shape criteria (per dataset and per (T, tau)):
+* conversion loss shrinks monotonically I -> I+II -> I+II+III;
+* for method I the loss grows as the window shrinks;
+* the full method stays near-lossless at the largest window.
+"""
+
+import pytest
+
+from repro.analysis import ConversionResult, format_table, paper
+from repro.cat import conversion_loss, convert, evaluate
+
+from conftest import SCALED_POINTS, save_result, train_bench_model
+
+METHODS = ("I", "I+II", "I+II+III")
+
+
+def _run_cell(dataset, method, window, tau):
+    model, cfg = train_bench_model(dataset, method, window, tau, seed=9)
+    ann = evaluate(model, dataset.test_x, dataset.test_y)
+    snn = convert(model, cfg).accuracy(dataset.test_x, dataset.test_y)
+    return ConversionResult(method=method, window=window, tau=tau,
+                            dataset=dataset.name, ann_accuracy=ann,
+                            snn_accuracy=snn)
+
+
+@pytest.fixture(scope="module")
+def ablation(bench_c10, bench_c100, bench_tin):
+    """All 3 methods x 3 scaled (T, tau) x 3 datasets (27 training runs)."""
+    cells = {}
+    for dataset in (bench_c10, bench_c100, bench_tin):
+        for paper_pt, (window, tau) in SCALED_POINTS.items():
+            for method in METHODS:
+                cells[(dataset.name, paper_pt, method)] = _run_cell(
+                    dataset, method, window, tau)
+    return cells
+
+
+def test_table1_cat_ablation(benchmark, ablation, bench_c10, bench_c100,
+                             bench_tin):
+    # Time one representative cell; the sweep itself is fixture-cached.
+    benchmark.pedantic(_run_cell, args=(bench_c10, "I", 6, 1.0),
+                       rounds=1, iterations=1)
+
+    headers = ["method", "paper T/tau", "bench T/tau", "dataset",
+               "SNN acc %", "loss pp", "paper SNN acc %", "paper loss pp"]
+    rows = []
+    paper_ds = {"bench-cifar10": "cifar10", "bench-cifar100": "cifar100",
+                "bench-tiny-imagenet": "tiny-imagenet"}
+    for (ds_name, paper_pt, method), cell in sorted(ablation.items()):
+        ref = paper.TABLE1[(method, paper_pt, paper_ds[ds_name])]
+        rows.append([
+            method, f"{paper_pt[0]}/{paper_pt[1]}",
+            f"{cell.window}/{cell.tau:g}", ds_name,
+            round(100 * cell.snn_accuracy, 2),
+            round(cell.conversion_loss, 2),
+            ref[0], ref[1],
+        ])
+    table = format_table(headers, rows,
+                         title="Table 1: CAT ablation (bench scale)")
+    save_result("table1_cat_ablation", table)
+
+    # Shape criterion 1: monotone improvement I -> I+II -> I+II+III.
+    tol = 2.5  # percentage points of run-to-run noise at bench scale
+    for ds_name in paper_ds:
+        for paper_pt in SCALED_POINTS:
+            losses = [ablation[(ds_name, paper_pt, m)].conversion_loss
+                      for m in METHODS]
+            assert losses[0] <= losses[1] + tol, (ds_name, paper_pt, losses)
+            assert losses[1] <= losses[2] + tol, (ds_name, paper_pt, losses)
+
+    # Shape criterion 2: for method I, smaller window -> larger loss.
+    for ds_name in paper_ds:
+        seq = [ablation[(ds_name, pt, "I")].conversion_loss
+               for pt in ((48, 8), (24, 4), (12, 2))]
+        assert seq[2] <= seq[0] + tol, (ds_name, seq)
+
+    # Shape criterion 3: full method near-lossless at the largest window.
+    for ds_name in paper_ds:
+        full = ablation[(ds_name, (48, 8), "I+II+III")]
+        assert abs(full.conversion_loss) < 3.0, (ds_name,
+                                                 full.conversion_loss)

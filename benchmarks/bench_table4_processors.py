@@ -1,0 +1,136 @@
+"""Table 4 — processor comparison: this work vs Tianjic vs redesigned TPU.
+
+The hardware models run the exact VGG-16 geometry for all three
+datasets.  Accuracy rows come from the algorithm benches (Table 1/2);
+this bench reproduces the architecture rows: area, power, throughput,
+energy/image and fps.
+
+Shape criteria:
+* our SNN beats the TPU-like array on both energy/image and fps on
+  every dataset;
+* Tianjic keeps its published throughput/energy advantage on CIFAR-10
+  but cannot hold VGG-16 on-chip (no CIFAR-100 / Tiny-ImageNet rows);
+* area/fps/energy land within 2x of the paper's absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import format_table, paper
+from repro.hw import (
+    MEASURED_VGG_PROFILE,
+    SNNProcessor,
+    TianjicLikeProcessor,
+    TPULikeProcessor,
+    vgg16_geometry,
+)
+
+from conftest import save_result
+
+WORKLOADS = {
+    "cifar10": (32, 10),
+    "cifar100": (32, 100),
+    "tiny-imagenet": (64, 200),
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    snn = SNNProcessor()
+    tpu = TPULikeProcessor()
+    tianjic = TianjicLikeProcessor()
+    out = {"snn": {}, "tpu": {}, "tianjic": {}}
+    for name, (size, classes) in WORKLOADS.items():
+        geo = vgg16_geometry(input_size=size, num_classes=classes)
+        out["snn"][name] = snn.run(geo, MEASURED_VGG_PROFILE)
+        out["tpu"][name] = tpu.run(geo)
+        out["tianjic"][name] = tianjic.run(geo)
+    out["snn_area"] = snn.area_mm2()
+    return out
+
+
+def test_table4_processor_comparison(benchmark, reports):
+    benchmark.pedantic(
+        SNNProcessor().run,
+        args=(vgg16_geometry(32, 10), MEASURED_VGG_PROFILE),
+        rounds=3, iterations=1,
+    )
+
+    ours = paper.TABLE4["this_work"]
+    tpu_ref = paper.TABLE4["tpu"]
+    rows = []
+    for ds in WORKLOADS:
+        snn_r = reports["snn"][ds]
+        tpu_r = reports["tpu"][ds]
+        rows.append([
+            ds,
+            round(snn_r.fps, 1), ours[ds]["fps"],
+            round(snn_r.energy_per_image_uj, 1), ours[ds]["energy_uj"],
+            round(tpu_r.fps, 1), tpu_ref[ds]["fps"],
+            round(tpu_r.energy_per_image_uj, 1), tpu_ref[ds]["energy_uj"],
+        ])
+    table = format_table(
+        ["dataset", "SNN fps", "paper", "SNN uJ", "paper",
+         "TPU fps", "paper", "TPU uJ", "paper"],
+        rows, title="Table 4: per-image metrics (measured vs paper)")
+
+    meta = format_table(
+        ["metric", "this work", "paper", "TPU-like", "paper"],
+        [
+            ["area mm2", round(reports["snn_area"], 4), ours["area_mm2"],
+             TPULikeProcessor().cfg.area_mm2, tpu_ref["area_mm2"]],
+            ["peak GSOP|GMAC/s", reports["snn"]["cifar10"].peak_gsops,
+             ours["throughput_gsops"], TPULikeProcessor().cfg.peak_gmacs,
+             tpu_ref["throughput_gsops"]],
+            ["power mW", round(reports["snn"]["cifar10"].power_mw, 1),
+             ours["power_mw"], TPULikeProcessor().cfg.power_mw,
+             tpu_ref["power_mw"]],
+        ])
+    tianjic = reports["tianjic"]["cifar10"]
+    tj_note = (f"Tianjic (published ref): {tianjic.fps:.0f} fps, "
+               f"{tianjic.energy_per_image_uj:.0f} uJ on CIFAR-10; "
+               f"VGG-16 fits on-chip: "
+               f"{reports['tianjic']['cifar100'].fits_on_chip}")
+    save_result("table4_processors", f"{table}\n\n{meta}\n\n{tj_note}")
+
+    # --- shape criteria -------------------------------------------------
+    for ds in WORKLOADS:
+        snn_r, tpu_r = reports["snn"][ds], reports["tpu"][ds]
+        assert snn_r.energy_per_image_uj < tpu_r.energy_per_image_uj, ds
+        assert snn_r.fps > tpu_r.fps, ds
+    # Tianjic advantage + capacity limit
+    assert tianjic.fps > reports["snn"]["cifar10"].fps
+    assert (tianjic.energy_per_image_uj
+            < reports["snn"]["cifar10"].energy_per_image_uj)
+    assert not reports["tianjic"]["cifar100"].fits_on_chip
+    # absolute numbers within 2x of the paper
+    for ds in WORKLOADS:
+        assert (ours[ds]["fps"] / 2 < reports["snn"][ds].fps
+                < ours[ds]["fps"] * 2), ds
+        assert (ours[ds]["energy_uj"] / 2
+                < reports["snn"][ds].energy_per_image_uj
+                < ours[ds]["energy_uj"] * 2), ds
+    assert reports["snn_area"] == pytest.approx(ours["area_mm2"], rel=0.1)
+
+
+def test_table4_dram_ablation(benchmark, reports):
+    """Ablation called out in DESIGN.md: the 48 KB input buffer's reuse.
+
+    Shrinking the buffer to 1 KB forces spike re-reads and increases
+    DRAM energy per image.
+    """
+    from repro.hw import HwConfig
+
+    def run_small_buffer():
+        proc = SNNProcessor(HwConfig(input_buffer_kb=1.0))
+        return proc.run(vgg16_geometry(64, 200), MEASURED_VGG_PROFILE)
+
+    small = benchmark.pedantic(run_small_buffer, rounds=1, iterations=1)
+    big = reports["snn"]["tiny-imagenet"]
+    assert small.traffic.spike_read_bits > big.traffic.spike_read_bits
+    assert small.dram_energy_uj >= big.dram_energy_uj
+    save_result(
+        "table4_buffer_ablation",
+        f"input-buffer ablation (Tiny-ImageNet): 48KB -> "
+        f"{big.dram_energy_uj:.1f} uJ DRAM; 1KB -> "
+        f"{small.dram_energy_uj:.1f} uJ DRAM",
+    )

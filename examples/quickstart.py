@@ -1,0 +1,60 @@
+"""Quickstart: conversion-aware training in ~60 seconds on CPU.
+
+Trains a small VGG with the paper's three-stage activation schedule
+(ReLU -> clip -> TTFS), converts it to a time-to-first-spike SNN, and
+shows the central claim: the converted SNN matches the ANN's accuracy
+because the ANN already learned the spike-time data representation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cat import CATConfig, convert, evaluate, train_cat
+from repro.data import make_dataset
+from repro.nn import init as nninit, vgg7
+from repro.snn import EventDrivenTTFSNetwork
+
+
+def main() -> None:
+    # A small synthetic classification task (6 classes, 16x16 RGB).
+    dataset = make_dataset(num_classes=6, image_size=16, train_per_class=60,
+                           test_per_class=30, seed=42, noise_std=0.5)
+    print(f"dataset: {dataset}")
+
+    # The paper's recipe, compressed from 200 epochs to 10: ReLU warm-up,
+    # clip for the bulk, phi_TTFS after the final LR drop.  T=12, tau=2 is
+    # the scaled analogue of the paper's hardware point (T=24, tau=4).
+    config = CATConfig(window=12, tau=2.0, method="I+II+III",
+                       epochs=10, relu_epochs=1, ttfs_epoch=8,
+                       lr=0.05, milestones=(5, 7, 8), batch_size=40,
+                       augment=False)
+    print(f"activation schedule: {config.stages()}")
+
+    nninit.seed(0)
+    model = vgg7(num_classes=dataset.num_classes, input_size=16)
+    result = train_cat(model, dataset, config, verbose=True)
+
+    # Convert: fuse batch-norm, lower to layer specs, normalise the output
+    # layer on a calibration batch.
+    snn = convert(model, config, calibration=dataset.train_x[:64])
+
+    ann_acc = evaluate(model, dataset.test_x, dataset.test_y)
+    snn_acc = snn.accuracy(dataset.test_x, dataset.test_y)
+    print(f"\nANN accuracy:        {ann_acc:.3f}")
+    print(f"SNN accuracy:        {snn_acc:.3f}")
+    print(f"conversion loss:     {100 * (snn_acc - ann_acc):+.2f} pp "
+          "(paper: ~0 for method I+II+III)")
+    print(f"SNN latency:         {snn.latency_timesteps} timesteps "
+          f"({snn.num_pipeline_stages} stages x T={config.window})")
+
+    # Event-driven simulation for spike statistics.
+    net = EventDrivenTTFSNetwork(snn)
+    sim = net.run(dataset.test_x[:16])
+    spikes_per_image = sim.total_spikes / 16
+    neurons = sum(t.neurons for t in sim.traces)
+    print(f"spikes per image:    {spikes_per_image:.0f} "
+          f"({neurons} neurons -> at most one spike each)")
+    print(f"synaptic ops/image:  {sim.total_sops / 16:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "A Time-to-first-spike Coding and Conversion
+Aware Training for Energy-Efficient Deep Spiking Neural Network Processor
+Design" (Lew, Lee, Park; DAC 2022).
+
+Subpackages
+-----------
+tensor   : numpy autograd engine (the training substrate)
+nn       : layers + VGG builders with hot-swappable activations
+optim    : SGD + multi-step LR (the paper's training recipe)
+data     : synthetic CIFAR/Tiny-ImageNet stand-ins
+cat      : conversion-aware training + ANN-to-SNN conversion (core)
+snn      : event-driven TTFS simulator + T2FSNN baseline
+quant    : logarithmic weight quantisation + LUT/shift arithmetic
+hw       : SNN processor model (SpinalFlow-derived) + Table 4 baselines
+analysis : metrics, reporting, paper reference constants
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, cat, data, hw, nn, optim, quant, snn, tensor
+
+__all__ = [
+    "analysis",
+    "cat",
+    "data",
+    "hw",
+    "nn",
+    "optim",
+    "quant",
+    "snn",
+    "tensor",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Metrics, reporting and the paper's reference numbers."""
+
+from . import paper
+from .metrics import (
+    ConversionResult,
+    crossover_bits,
+    geometric_speedup,
+    latency_timesteps,
+    monotonically_improves,
+)
+from .reporting import ascii_bars, format_series, format_table, paper_vs_measured
+
+__all__ = [
+    "paper",
+    "ConversionResult",
+    "crossover_bits",
+    "geometric_speedup",
+    "latency_timesteps",
+    "monotonically_improves",
+    "ascii_bars",
+    "format_series",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,113 @@
+"""Reference constants from the paper, for side-by-side comparison.
+
+Every table and figure the evaluation reproduces is mirrored here so the
+benchmarks can print paper-vs-measured rows and EXPERIMENTS.md can be
+regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Table 1: accuracies (conversion losses) of CAT, VGG-16
+# keys: (method, (T, tau), dataset) -> (snn_accuracy_%, conversion_loss_pp)
+# ----------------------------------------------------------------------
+TABLE1 = {
+    ("I", (48, 8), "cifar10"): (92.32, -1.33),
+    ("I", (48, 8), "cifar100"): (67.93, -4.55),
+    ("I", (48, 8), "tiny-imagenet"): (58.75, -2.28),
+    ("I", (24, 4), "cifar10"): (86.99, -6.55),
+    ("I", (24, 4), "cifar100"): (52.48, -20.23),
+    ("I", (24, 4), "tiny-imagenet"): (49.04, -12.03),
+    ("I", (12, 2), "cifar10"): (62.78, -30.69),
+    ("I", (12, 2), "cifar100"): (15.07, -57.52),
+    ("I", (12, 2), "tiny-imagenet"): (17.19, -43.84),
+    ("I+II", (48, 8), "cifar10"): (92.85, -0.23),
+    ("I+II", (48, 8), "cifar100"): (70.62, -1.06),
+    ("I+II", (48, 8), "tiny-imagenet"): (59.31, -1.61),
+    ("I+II", (24, 4), "cifar10"): (90.92, -1.80),
+    ("I+II", (24, 4), "cifar100"): (64.25, -6.34),
+    ("I+II", (24, 4), "tiny-imagenet"): (51.89, -8.52),
+    ("I+II", (12, 2), "cifar10"): (78.21, -12.98),
+    ("I+II", (12, 2), "cifar100"): (33.93, -33.27),
+    ("I+II", (12, 2), "tiny-imagenet"): (21.18, -37.88),
+    ("I+II+III", (48, 8), "cifar10"): (93.18, -0.02),
+    ("I+II+III", (48, 8), "cifar100"): (71.72, 0.00),
+    ("I+II+III", (48, 8), "tiny-imagenet"): (60.58, -0.30),
+    ("I+II+III", (24, 4), "cifar10"): (92.45, 0.04),
+    ("I+II+III", (24, 4), "cifar100"): (70.30, -0.13),
+    ("I+II+III", (24, 4), "tiny-imagenet"): (59.22, -1.05),
+    ("I+II+III", (12, 2), "cifar10"): (90.77, -0.05),
+    ("I+II+III", (12, 2), "cifar100"): (66.00, -0.56),
+    ("I+II+III", (12, 2), "tiny-imagenet"): (54.99, -3.90),
+}
+
+# ----------------------------------------------------------------------
+# Table 2: comparison with T2FSNN.  Columns in paper order.
+# ----------------------------------------------------------------------
+TABLE2 = [
+    {"system": "T2FSNN", "base": "e", "T": 80, "tau": 20, "latency": 680,
+     "cifar10": 91.43, "cifar100": 68.79, "tiny-imagenet": None},
+    {"system": "This work", "base": "e", "T": 80, "tau": 20, "latency": 1360,
+     "cifar10": 93.36, "cifar100": 72.14, "tiny-imagenet": 60.63},
+    {"system": "This work", "base": "2", "T": 48, "tau": 8, "latency": 816,
+     "cifar10": 93.18, "cifar100": 71.72, "tiny-imagenet": 60.58},
+    {"system": "This work", "base": "2", "T": 24, "tau": 4, "latency": 408,
+     "cifar10": 92.45, "cifar100": 70.30, "tiny-imagenet": 59.22},
+]
+
+# ----------------------------------------------------------------------
+# Figure 3: phi_TTFS switch epochs tested (LR schedule /10 @ 80/120/160).
+# Epochs < 160 (LR > 1e-3) crash; epochs >= 160 (LR = 1e-4) are stable.
+# ----------------------------------------------------------------------
+FIG3_SWITCH_EPOCHS = (40, 90, 100, 170, 180)
+FIG3_STABLE_EPOCHS = (170, 180)
+FIG3_SELECTED_EPOCH = 170
+
+# ----------------------------------------------------------------------
+# Figure 4: selected quantisation point.
+# ----------------------------------------------------------------------
+FIG4_SELECTED = {"bits": 5, "z_w": 1, "T": 24, "tau": 4}
+FIG4_BIT_WIDTHS = (4, 5, 6, 7, 8)
+
+# ----------------------------------------------------------------------
+# Figure 6: PE array savings (fractions of the baseline).
+# ----------------------------------------------------------------------
+FIG6 = {
+    "area_saving_cat": 0.127,
+    "area_saving_log": 0.081,
+    "power_saving_cat": 0.147,
+    "power_saving_log": 0.086,
+}
+
+# ----------------------------------------------------------------------
+# Table 4: processor comparison.
+# ----------------------------------------------------------------------
+TABLE4 = {
+    "this_work": {
+        "type": "SNN", "process_nm": 28, "voltage": 0.99,
+        "area_mm2": 0.9102, "frequency_mhz": 250, "num_pes": 128,
+        "throughput_gsops": 32.0, "power_mw": 67.3,
+        "cifar10": {"accuracy": 91.7, "energy_uj": 486.7, "fps": 327},
+        "cifar100": {"accuracy": 67.9, "energy_uj": 503.6, "fps": 294},
+        "tiny-imagenet": {"accuracy": 57.4, "energy_uj": 1426.0, "fps": 63},
+    },
+    "tianjic": {
+        "type": "SNN", "process_nm": 28, "voltage": 0.85,
+        "area_mm2": 14.44, "frequency_mhz": 300, "num_pes": 2496,
+        "throughput_gsops": 683.2, "power_mw": 950.0,
+        "cifar10": {"accuracy": 89.5, "energy_uj": 129.0, "fps": 46827},
+        "cifar100": None,
+        "tiny-imagenet": None,
+    },
+    "tpu": {
+        "type": "ANN", "process_nm": 28, "voltage": 0.99,
+        "area_mm2": 1.4358, "frequency_mhz": 250, "num_pes": 256,
+        "throughput_gsops": 64.0, "power_mw": 100.1,
+        "cifar10": {"accuracy": 93.0, "energy_uj": 978.5, "fps": 204},
+        "cifar100": {"accuracy": 71.7, "energy_uj": 980.0, "fps": 203},
+        "tiny-imagenet": {"accuracy": 61.4, "energy_uj": 2759.0, "fps": 51},
+    },
+}
+
+# Hardware design point selected in Sec. 3.2 / Sec. 4.
+SELECTED_DESIGN = {"T": 24, "tau": 4, "a_w": "2^-1/2", "weight_bits": 5}

@@ -1,0 +1,72 @@
+"""Plain-text table and series rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(xs: Sequence, series: Dict[str, Sequence], title: str = "",
+                  x_label: str = "x") -> str:
+    """Render aligned columns for figure-style data (x vs several series)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 40,
+               title: str = "") -> str:
+    """Horizontal ASCII bar chart (for normalised Fig. 6-style data)."""
+    peak = max(values.values())
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{name:>8s} |{bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: List[dict], keys: Sequence[str]) -> str:
+    """Standard benchmark epilogue: paper value vs our measurement."""
+    headers = ["metric", "paper", "measured", "ratio"]
+    out_rows = []
+    for row in rows:
+        paper = row.get("paper")
+        measured = row.get("measured")
+        ratio = None
+        if paper not in (None, 0) and measured is not None:
+            ratio = measured / paper
+        out_rows.append([row.get("metric", "?"), paper, measured, ratio])
+    return format_table(headers, out_rows)

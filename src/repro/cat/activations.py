@@ -1,0 +1,139 @@
+"""CAT activation functions (paper Eqs. 10-13).
+
+Three activations are used over the course of conversion-aware training:
+
+* ``relu``       — warm-up (epochs 0..9 in the paper's recipe);
+* ``phi_clip``   — Eq. 12/13, a [0, theta0] clamp: stable training with a
+  small residual representation error after conversion;
+* ``phi_ttfs``   — Eq. 10/11, the exact simulation of kernel-based TTFS
+  coding: the forward pass quantises activations onto the spike-time grid
+  ``theta0 * 2**(-dt/tau), dt in {0..T}`` and the backward pass uses a
+  straight-through gradient inside the representable range.
+
+``phi_ttfs`` rounds *down* in the log domain (a value fires at the first
+integer timestep whose threshold it reaches, and is decoded as that
+threshold), which is the causal IF-neuron behaviour; the ceil in the
+paper's Eq. 10 composes with the kernel's negative exponent to the same
+grid point.  The invariant that matters — the ANN activation equals the
+converted SNN's decode bit-for-bit — is asserted by the test-suite
+against the event-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensor import Tensor, custom_op
+from .kernels import GRID_SNAP_TOL, Base2Kernel
+
+
+def ttfs_quantize_array(
+    x: np.ndarray, window: int, tau: float, theta0: float = 1.0,
+    base: float = 2.0,
+) -> np.ndarray:
+    """Forward of phi_TTFS on a raw array (Eq. 10).
+
+    Values >= theta0 saturate at theta0 (they fire immediately); values
+    below the last threshold of the window, theta0 * base**(-window/tau),
+    never fire and map to 0; everything in between maps onto the
+    spike-time grid by rounding down in the log domain.
+    """
+    x = np.asarray(x)
+    out = np.zeros_like(x, dtype=np.float64)
+    positive = x > 0
+    log_base = np.log(base)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        raw = tau * np.log(theta0 / np.where(positive, x, 1.0)) / log_base
+    steps = np.ceil(raw - GRID_SNAP_TOL)
+    steps = np.clip(steps, 0, None)
+    fires = positive & (steps <= window)
+    out[fires] = theta0 * np.power(base, -steps[fires] / tau)
+    return out.astype(x.dtype, copy=False)
+
+
+def clip_array(x: np.ndarray, theta0: float = 1.0) -> np.ndarray:
+    """Forward of phi_Clip on a raw array (Eq. 12/13)."""
+    return np.clip(x, 0.0, theta0)
+
+
+@dataclass(frozen=True)
+class TTFSActivation:
+    """phi_TTFS as a differentiable op (Eq. 10 forward, Eq. 11 backward).
+
+    The gradient is 1 on the representable range
+    ``[theta0 * 2**(-T/tau), theta0)`` and 0 outside it — the standard
+    straight-through estimator used in quantisation-aware training, which
+    is exactly what CAT borrows from QAT [12].
+    """
+
+    window: int = 24
+    tau: float = 4.0
+    theta0: float = 1.0
+    base: float = 2.0
+
+    @property
+    def kernel(self) -> Base2Kernel:
+        return Base2Kernel(tau=self.tau, base=self.base)
+
+    @property
+    def min_representable(self) -> float:
+        """kappa(T) * theta0 — the smallest non-zero decodable value."""
+        return self.theta0 * self.base ** (-self.window / self.tau)
+
+    @property
+    def num_levels(self) -> int:
+        """Non-zero grid levels within the window (+1 for zero)."""
+        return self.window + 1
+
+    def __call__(self, x: Tensor) -> Tensor:
+        fwd = ttfs_quantize_array(x.data, self.window, self.tau, self.theta0,
+                                  self.base)
+        inside = (x.data >= self.min_representable) & (x.data < self.theta0)
+
+        def backward(g):
+            return (g * inside,)
+
+        return custom_op([x], fwd, backward)
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        """Apply the forward transform to a raw array (no autograd)."""
+        return ttfs_quantize_array(x, self.window, self.tau, self.theta0,
+                                   self.base)
+
+
+@dataclass(frozen=True)
+class ClipActivation:
+    """phi_Clip (Eq. 12/13): clamp to [0, theta0], STE gradient inside."""
+
+    theta0: float = 1.0
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, self.theta0)
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return clip_array(x, self.theta0)
+
+
+@dataclass(frozen=True)
+class ReLUActivation:
+    """Plain ReLU, used to boost the first training epochs."""
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+def make_activation(kind: str, window: int, tau: float, theta0: float = 1.0,
+                    base: float = 2.0):
+    """Factory mapping schedule stage names to activation callables."""
+    if kind == "relu":
+        return ReLUActivation()
+    if kind == "clip":
+        return ClipActivation(theta0=theta0)
+    if kind == "ttfs":
+        return TTFSActivation(window=window, tau=tau, theta0=theta0, base=base)
+    raise ValueError(f"unknown activation kind {kind!r}")

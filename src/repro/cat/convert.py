@@ -1,0 +1,269 @@
+"""ANN-to-SNN conversion (paper Sec. 3.1, last paragraph).
+
+Conversion does three things:
+
+1. **Batch-norm fusion** — each ``Conv2d (no bias) -> BatchNorm2d`` pair
+   becomes a single convolution with
+   ``W' = W * gamma / sqrt(var + eps)`` (per output channel) and
+   ``b' = beta - gamma * mean / sqrt(var + eps)``.
+2. **Output weight normalisation** [5] — the output layer has no
+   activation, so its weights/bias are scaled by the maximum
+   pre-activation observed on a calibration batch, keeping the membrane
+   potentials of the readout layer inside the coding range.
+3. **Spec extraction** — the network is lowered to a flat list of
+   :class:`LayerSpec` records consumed by the value-domain evaluator
+   below, the event-driven simulator (:mod:`repro.snn`) and the hardware
+   model (:mod:`repro.hw`).
+
+The value-domain evaluator exploits the central property of one-spike
+TTFS coding with matched kernels: each layer's spike train is fully
+described by the decoded activation values, so a layer-by-layer
+"affine -> TTFS quantise" pass is *exactly* equivalent to the temporal
+simulation.  The equivalence is verified spike-by-spike against
+:mod:`repro.snn` in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d
+from ..nn.vgg import VGG
+from ..tensor import Tensor, conv2d as conv2d_op
+from .activations import TTFSActivation
+from .schedule import CATConfig
+
+
+@dataclass
+class LayerSpec:
+    """One lowered SNN layer.
+
+    ``kind`` is one of ``conv`` / ``linear`` / ``maxpool`` / ``avgpool`` /
+    ``flatten``.  Weight layers carry fused parameters; ``is_output``
+    marks the readout layer, which integrates PSPs but never fires.
+    """
+
+    kind: str
+    weight: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    stride: int = 1
+    padding: int = 0
+    kernel_size: int = 0
+    is_output: bool = False
+
+    @property
+    def is_weight_layer(self) -> bool:
+        return self.kind in ("conv", "linear")
+
+    def synapse_count(self) -> int:
+        return 0 if self.weight is None else int(self.weight.size)
+
+
+def fuse_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> tuple[np.ndarray, np.ndarray]:
+    """Fold BN statistics into convolution weights (returns W', b')."""
+    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+    weight = conv.weight.data * scale[:, None, None, None]
+    base_bias = conv.bias.data if conv.bias is not None else 0.0
+    bias = bn.bias.data + scale * (base_bias - bn.running_mean)
+    return weight.astype(np.float32), bias.astype(np.float32)
+
+
+def extract_layer_specs(model: VGG) -> List[LayerSpec]:
+    """Lower a VGG model into fused LayerSpec records, in forward order."""
+    specs: List[LayerSpec] = []
+    feature_mods = list(model.features)
+    i = 0
+    while i < len(feature_mods):
+        mod = feature_mods[i]
+        if isinstance(mod, Conv2d):
+            if i + 1 < len(feature_mods) and isinstance(feature_mods[i + 1], BatchNorm2d):
+                weight, bias = fuse_conv_bn(mod, feature_mods[i + 1])
+                i += 1  # consume the BN too
+            else:
+                weight = mod.weight.data.copy()
+                bias = (
+                    mod.bias.data.copy()
+                    if mod.bias is not None
+                    else np.zeros(mod.out_channels, dtype=np.float32)
+                )
+            specs.append(
+                LayerSpec(
+                    kind="conv",
+                    weight=weight,
+                    bias=bias,
+                    stride=mod.stride,
+                    padding=mod.padding,
+                    kernel_size=mod.kernel_size,
+                )
+            )
+        elif isinstance(mod, MaxPool2d):
+            specs.append(LayerSpec(kind="maxpool", kernel_size=mod.kernel_size,
+                                   stride=mod.stride))
+        elif isinstance(mod, AvgPool2d):
+            specs.append(LayerSpec(kind="avgpool", kernel_size=mod.kernel_size,
+                                   stride=mod.stride))
+        # BatchNorm (already fused), ActivationSlot, Dropout: structural no-ops
+        i += 1
+
+    for mod in model.classifier:
+        if isinstance(mod, Flatten):
+            specs.append(LayerSpec(kind="flatten"))
+        elif isinstance(mod, Linear):
+            bias = (
+                mod.bias.data.copy()
+                if mod.bias is not None
+                else np.zeros(mod.out_features, dtype=np.float32)
+            )
+            specs.append(LayerSpec(kind="linear", weight=mod.weight.data.copy(),
+                                   bias=bias))
+        elif isinstance(mod, Dropout):
+            continue
+
+    weight_specs = [s for s in specs if s.is_weight_layer]
+    if not weight_specs:
+        raise ValueError("model contains no weight layers to convert")
+    weight_specs[-1].is_output = True
+    return specs
+
+
+@dataclass
+class ConvertedSNN:
+    """A converted TTFS spiking network, evaluated in the value domain.
+
+    ``forward_value`` applies input TTFS encoding, then for every weight
+    layer computes the fused affine transform followed by TTFS
+    quantisation (the decode of the layer's spike output); the readout
+    layer returns raw membrane potentials.
+    """
+
+    layers: List[LayerSpec]
+    config: CATConfig
+    activation: TTFSActivation = field(init=False)
+    output_scale: float = 1.0
+
+    def __post_init__(self):
+        self.activation = TTFSActivation(
+            window=self.config.window, tau=self.config.tau,
+            theta0=self.config.theta0, base=self.config.base,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def weight_layers(self) -> List[LayerSpec]:
+        return [s for s in self.layers if s.is_weight_layer]
+
+    @property
+    def num_pipeline_stages(self) -> int:
+        """Input-encoding window + one window per weight layer."""
+        return len(self.weight_layers) + 1
+
+    @property
+    def latency_timesteps(self) -> int:
+        """End-to-end latency in timesteps (Table 2 row 'Latency')."""
+        return self.num_pipeline_stages * self.config.window
+
+    # ------------------------------------------------------------------
+    def _affine(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        if spec.kind == "conv":
+            out = conv2d_op(
+                Tensor(x), Tensor(spec.weight), Tensor(spec.bias),
+                spec.stride, spec.padding,
+            )
+            return out.data
+        return x @ spec.weight.T + spec.bias
+
+    @staticmethod
+    def _pool(spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        from ..tensor import avg_pool2d, max_pool2d
+
+        t = Tensor(x)
+        if spec.kind == "maxpool":
+            return max_pool2d(t, spec.kernel_size, spec.stride).data
+        return avg_pool2d(t, spec.kernel_size, spec.stride).data
+
+    def encode_input(self, x: np.ndarray) -> np.ndarray:
+        """TTFS-encode the input image (pixels -> first-spike grid values)."""
+        return self.activation.array(x)
+
+    def forward_value(self, x: np.ndarray, encode_input: bool = True) -> np.ndarray:
+        """Run the SNN in the value domain; returns readout potentials."""
+        if encode_input:
+            x = self.encode_input(x)
+        for spec in self.layers:
+            if spec.is_weight_layer:
+                x = self._affine(spec, x)
+                if spec.is_output:
+                    x = x * self.output_scale
+                else:
+                    x = self.activation.array(x)
+            elif spec.kind in ("maxpool", "avgpool"):
+                x = self._pool(spec, x)
+            elif spec.kind == "flatten":
+                x = x.reshape(len(x), -1)
+        return x
+
+    def layer_activations(self, x: np.ndarray, encode_input: bool = True
+                          ) -> List[np.ndarray]:
+        """Decoded activation of every weight layer (for analysis/tests)."""
+        acts: List[np.ndarray] = []
+        if encode_input:
+            x = self.encode_input(x)
+        acts.append(x)
+        for spec in self.layers:
+            if spec.is_weight_layer:
+                x = self._affine(spec, x)
+                if spec.is_output:
+                    x = x * self.output_scale
+                else:
+                    x = self.activation.array(x)
+                acts.append(x)
+            elif spec.kind in ("maxpool", "avgpool"):
+                x = self._pool(spec, x)
+            elif spec.kind == "flatten":
+                x = x.reshape(len(x), -1)
+        return acts
+
+    # ------------------------------------------------------------------
+    def accuracy(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Top-1 accuracy of the converted SNN."""
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            out = self.forward_value(images[start : start + batch_size])
+            correct += int((out.argmax(axis=1) == labels[start : start + batch_size]).sum())
+        return correct / len(labels)
+
+
+def apply_output_weight_norm(snn: ConvertedSNN, calibration: np.ndarray,
+                             percentile: float = 100.0) -> float:
+    """Scale the readout layer so its potentials stay in the coding range [5].
+
+    Returns the normalisation factor lambda (max |pre-activation| on the
+    calibration batch, or the given percentile of it).
+    """
+    out = snn.forward_value(calibration)
+    mags = np.abs(out / max(snn.output_scale, 1e-12))
+    lam = float(np.percentile(mags, percentile)) if percentile < 100 else float(mags.max())
+    if lam <= 0:
+        return 1.0
+    snn.output_scale = 1.0 / lam
+    return lam
+
+
+def convert(model: VGG, config: CATConfig,
+            calibration: Optional[np.ndarray] = None) -> ConvertedSNN:
+    """Full conversion pipeline: fuse BN, lower to specs, normalise output."""
+    model.eval()
+    specs = extract_layer_specs(model)
+    snn = ConvertedSNN(layers=specs, config=config)
+    if calibration is not None:
+        apply_output_weight_norm(snn, calibration)
+    return snn
+
+
+def conversion_loss(ann_acc: float, snn_acc: float) -> float:
+    """Table 1's parenthesised quantity: acc_SNN - acc_ANN (negative = loss)."""
+    return snn_acc - ann_acc

@@ -1,0 +1,185 @@
+"""The conversion-aware training loop (paper Sec. 3.1).
+
+:class:`CATTrainer` drives a :class:`~repro.nn.vgg.VGG` model through the
+activation schedule of a :class:`~repro.cat.schedule.CATConfig`:
+
+1. builds SGD (momentum 0.9, weight decay 5e-4) + multi-step LR;
+2. swaps hidden activations ReLU -> phi_Clip -> phi_TTFS at the scheduled
+   epochs, and installs phi_TTFS input encoding when component II is on;
+3. records a per-epoch history (loss, train/test accuracy, stage, lr)
+   that the Fig. 3 benchmark replays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data import DataLoader, Dataset
+from ..nn.vgg import VGG
+from ..optim import SGD, MultiStepLR
+from ..tensor import Tensor, accuracy, cross_entropy
+from .activations import make_activation
+from .schedule import CATConfig
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    stage: str
+    lr: float
+    train_loss: float
+    train_acc: float
+    test_acc: float
+    seconds: float
+
+
+@dataclass
+class TrainResult:
+    """Output of a CAT run: the trained model plus the training history."""
+
+    model: VGG
+    config: CATConfig
+    history: List[EpochRecord] = field(default_factory=list)
+
+    @property
+    def final_test_acc(self) -> float:
+        return self.history[-1].test_acc if self.history else float("nan")
+
+    @property
+    def best_test_acc(self) -> float:
+        return max((r.test_acc for r in self.history), default=float("nan"))
+
+    def accuracy_curve(self) -> np.ndarray:
+        return np.array([r.test_acc for r in self.history])
+
+    def crashed(self, floor: float | None = None) -> bool:
+        """Heuristic used by the Fig. 3 analysis: training counts as
+        crashed when accuracy after the TTFS switch collapses below the
+        chance-adjacent ``floor``."""
+        if not self.history:
+            return False
+        switch = self.config.ttfs_epoch
+        post = [r.test_acc for r in self.history if r.epoch >= switch]
+        if not post:
+            return False
+        if floor is None:
+            pre = [r.test_acc for r in self.history if r.epoch < switch]
+            floor = 0.5 * max(pre) if pre else 0.0
+        return min(post) < floor
+
+
+def evaluate(model: VGG, images: np.ndarray, labels: np.ndarray,
+             batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` over an array dataset (eval mode)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    for start in range(0, len(labels), batch_size):
+        x = images[start : start + batch_size]
+        y = labels[start : start + batch_size]
+        logits = model(Tensor(x))
+        correct += int((logits.data.argmax(axis=1) == y).sum())
+    model.train(was_training)
+    return correct / len(labels)
+
+
+class CATTrainer:
+    """Run conversion-aware training on a model + dataset pair."""
+
+    def __init__(self, model: VGG, dataset: Dataset, config: CATConfig,
+                 verbose: bool = False):
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.verbose = verbose
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self.scheduler = MultiStepLR(
+            self.optimizer, milestones=config.milestones, gamma=config.lr_gamma
+        )
+        self._loader = DataLoader(
+            dataset.train_x,
+            dataset.train_y,
+            batch_size=config.batch_size,
+            shuffle=True,
+            augment=config.augment,
+            seed=config.seed,
+        )
+        self._stage: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def _apply_stage(self, epoch: int) -> str:
+        """Install the scheduled activation for ``epoch`` if it changed."""
+        cfg = self.config
+        stage = cfg.stage_at(epoch)
+        if stage != self._stage:
+            fn = make_activation(stage, cfg.window, cfg.tau, cfg.theta0, cfg.base)
+            self.model.set_hidden_activation(fn, stage)
+            self._stage = stage
+        return stage
+
+    def _install_input_encoding(self) -> None:
+        cfg = self.config
+        if cfg.uses_input_encoding:
+            fn = make_activation("ttfs", cfg.window, cfg.tau, cfg.theta0, cfg.base)
+            self.model.set_input_encoding(fn, "ttfs-input")
+        else:
+            self.model.set_input_encoding(lambda t: t, "identity")
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int) -> tuple[float, float]:
+        """One optimisation epoch; returns (mean loss, train accuracy)."""
+        self.model.train()
+        losses, accs = [], []
+        for x, y in self._loader:
+            logits = self.model(Tensor(x))
+            loss = cross_entropy(logits, y)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+            accs.append(accuracy(logits, y))
+        return float(np.mean(losses)), float(np.mean(accs))
+
+    def run(self) -> TrainResult:
+        """Execute the full schedule and return the trained model + history."""
+        cfg = self.config
+        self._install_input_encoding()
+        result = TrainResult(model=self.model, config=cfg)
+        for epoch in range(cfg.epochs):
+            start = time.perf_counter()
+            stage = self._apply_stage(epoch)
+            lr = self.scheduler.step(epoch)
+            train_loss, train_acc = self.train_epoch(epoch)
+            test_acc = evaluate(self.model, self.dataset.test_x, self.dataset.test_y)
+            record = EpochRecord(
+                epoch=epoch,
+                stage=stage,
+                lr=lr,
+                train_loss=train_loss,
+                train_acc=train_acc,
+                test_acc=test_acc,
+                seconds=time.perf_counter() - start,
+            )
+            result.history.append(record)
+            if self.verbose:
+                print(
+                    f"epoch {epoch:3d} [{stage:4s}] lr={lr:.4g} "
+                    f"loss={train_loss:.4f} train={train_acc:.3f} "
+                    f"test={test_acc:.3f} ({record.seconds:.1f}s)"
+                )
+        return result
+
+
+def train_cat(model: VGG, dataset: Dataset, config: CATConfig,
+              verbose: bool = False) -> TrainResult:
+    """Convenience wrapper: build a trainer and run it."""
+    return CATTrainer(model, dataset, config, verbose=verbose).run()

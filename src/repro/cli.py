@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Fast, self-contained entry points into the reproduction:
+
+* ``info``   — inventory of subsystems and reproduced artefacts;
+* ``fig2``   — activation/representation-error curves (exact, instant);
+* ``fig6``   — PE-array area/power design points (analytic, instant);
+* ``table4`` — processor comparison on exact VGG-16 geometry (instant);
+* ``train``  — run a small CAT training + conversion demo (~1 min);
+* ``latency``— TTFS pipeline latency calculator (Table 2 formula).
+
+The full table/figure regeneration lives in ``benchmarks/`` (pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
+    print(__doc__)
+    print("subsystems: tensor, nn, optim, data, cat, snn, quant, hw, analysis")
+    print("artefacts : fig2 fig3 fig4 fig6 table1 table2 table4 "
+          "(see benchmarks/)")
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .analysis import format_series
+    from .cat import activation_curves
+
+    curves = activation_curves(window=args.window, tau=args.tau)
+    idx = np.linspace(0, len(curves.inputs) - 1, 13).astype(int)
+    print(format_series(
+        np.round(curves.inputs[idx], 3),
+        {k: np.round(v[idx], 4) for k, v in curves.errors.items()},
+        title=f"representation error vs SNN coding "
+              f"(T={args.window}, tau={args.tau:g})",
+        x_label="x"))
+    print(f"\nmax error: ttfs={curves.max_error('ttfs'):.4f} "
+          f"clip={curves.max_error('clip'):.4f} "
+          f"relu={curves.max_error('relu'):.4f}")
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .analysis import ascii_bars
+    from .hw import fig6_design_points
+
+    result = fig6_design_points()
+    series = result.normalized_series()
+    print(ascii_bars(series["area"], title="PE-array area (normalised)"))
+    print()
+    print(ascii_bars(series["power"], title="PE-array power (normalised)"))
+    print(f"\nstep I : -{100 * result.area_saving_cat:.1f}% area, "
+          f"-{100 * result.power_saving_cat:.1f}% power "
+          "(paper: -12.7% / -14.7%)")
+    print(f"step II: -{100 * result.area_saving_log:.1f}% area, "
+          f"-{100 * result.power_saving_log:.1f}% power "
+          "(paper: -8.1% / -8.6%)")
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    from .analysis import format_table
+    from .hw import (
+        MEASURED_VGG_PROFILE,
+        SNNProcessor,
+        TPULikeProcessor,
+        vgg16_geometry,
+    )
+
+    proc, tpu = SNNProcessor(), TPULikeProcessor()
+    rows = []
+    for name, (size, classes) in (("cifar10", (32, 10)),
+                                  ("cifar100", (32, 100)),
+                                  ("tiny-imagenet", (64, 200))):
+        geo = vgg16_geometry(input_size=size, num_classes=classes)
+        ours = proc.run(geo, MEASURED_VGG_PROFILE)
+        theirs = tpu.run(geo)
+        rows.append([name, round(ours.fps, 1),
+                     round(ours.energy_per_image_uj, 1),
+                     round(theirs.fps, 1),
+                     round(theirs.energy_per_image_uj, 1)])
+    print(format_table(
+        ["workload", "SNN fps", "SNN uJ/img", "TPU fps", "TPU uJ/img"],
+        rows, title=f"VGG-16 inference — chip area {proc.area_mm2():.4f} mm2"
+                    " (paper 0.9102)"))
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from .analysis import latency_timesteps
+
+    lat = latency_timesteps(args.layers, args.window,
+                            early_firing=args.early_firing)
+    mode = "early firing" if args.early_firing else "full window"
+    print(f"{args.layers} weight layers x T={args.window} ({mode}): "
+          f"{lat} timesteps")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .cat import CATConfig, convert, evaluate, train_cat
+    from .data import load
+    from .nn import init as nninit, vgg7, vgg9
+
+    dataset = load(args.dataset)
+    builder = vgg9 if args.model == "vgg9" else vgg7
+    nninit.seed(args.seed)
+    size = dataset.image_shape[-1]
+    model = builder(num_classes=dataset.num_classes, input_size=size)
+    config = CATConfig(
+        window=args.window, tau=args.tau, method=args.method,
+        epochs=args.epochs, relu_epochs=max(1, args.epochs // 10),
+        ttfs_epoch=max(1, int(args.epochs * 0.85)),
+        lr=args.lr,
+        milestones=tuple(max(1, int(args.epochs * f))
+                         for f in (0.4, 0.6, 0.8)),
+        batch_size=40, augment=False, seed=args.seed,
+    )
+    print(f"training {args.model} on {dataset.name} with method "
+          f"{args.method}, T={args.window}, tau={args.tau:g}")
+    train_cat(model, dataset, config, verbose=True)
+    snn = convert(model, config, calibration=dataset.train_x[:64])
+    ann = evaluate(model, dataset.test_x, dataset.test_y)
+    acc = snn.accuracy(dataset.test_x, dataset.test_y)
+    print(f"\nANN {ann:.3f} -> SNN {acc:.3f} "
+          f"(loss {100 * (acc - ann):+.2f} pp), "
+          f"latency {snn.latency_timesteps} timesteps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(
+        fn=_cmd_info)
+
+    p = sub.add_parser("fig2", help="activation error curves")
+    p.add_argument("--window", type=int, default=24)
+    p.add_argument("--tau", type=float, default=4.0)
+    p.set_defaults(fn=_cmd_fig2)
+
+    sub.add_parser("fig6", help="PE-array savings").set_defaults(
+        fn=_cmd_fig6)
+    sub.add_parser("table4", help="processor comparison").set_defaults(
+        fn=_cmd_table4)
+
+    p = sub.add_parser("latency", help="TTFS pipeline latency")
+    p.add_argument("--layers", type=int, default=16)
+    p.add_argument("--window", type=int, default=24)
+    p.add_argument("--early-firing", action="store_true")
+    p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser("train", help="CAT training demo")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset (see repro.data.available())")
+    p.add_argument("--model", choices=("vgg7", "vgg9"), default="vgg7")
+    p.add_argument("--method", choices=("I", "I+II", "I+II+III"),
+                   default="I+II+III")
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument("--tau", type=float, default=2.0)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

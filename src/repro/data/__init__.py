@@ -1,0 +1,33 @@
+"""Synthetic datasets and loading utilities (CIFAR/Tiny-ImageNet stand-ins)."""
+
+from .datasets import (
+    Dataset,
+    available,
+    load,
+    make_dataset,
+    mini_cifar10,
+    mini_cifar100,
+    mini_tiny_imagenet,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_tiny_imagenet,
+)
+from .loader import DataLoader
+from .transforms import normalize, random_crop, random_hflip
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "available",
+    "load",
+    "make_dataset",
+    "mini_cifar10",
+    "mini_cifar100",
+    "mini_tiny_imagenet",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tiny_imagenet",
+    "normalize",
+    "random_crop",
+    "random_hflip",
+]

@@ -1,0 +1,53 @@
+"""Mini-batch iteration with optional augmentation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .transforms import random_crop, random_hflip
+
+
+class DataLoader:
+    """Iterate (images, labels) mini-batches from in-memory arrays.
+
+    Augmentation follows the common CIFAR recipe the paper's VGG training
+    would use: pad-and-random-crop plus horizontal flip.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        augment: bool = False,
+        crop_pad: int = 2,
+        seed: int = 7,
+    ):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have equal length")
+        self.images = images
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.augment = augment
+        self.crop_pad = crop_pad
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.labels) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.labels))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            x = self.images[idx]
+            y = self.labels[idx]
+            if self.augment:
+                x = random_crop(x, self.crop_pad, self._rng)
+                x = random_hflip(x, self._rng)
+            yield x, y

@@ -1,0 +1,34 @@
+"""Image transforms on NCHW float arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop(x: np.ndarray, pad: int, rng: np.random.Generator) -> np.ndarray:
+    """Zero-pad by ``pad`` then crop back to the original size at a random offset."""
+    if pad == 0:
+        return x
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.empty_like(x)
+    offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+    for i in range(n):
+        dy, dx = offsets[i]
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+def random_hflip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Flip each image horizontally with probability ``p``."""
+    flip = rng.random(len(x)) < p
+    out = x.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def normalize(x: np.ndarray, mean: float | np.ndarray, std: float | np.ndarray) -> np.ndarray:
+    """Standardise pixels; accepts scalars or per-channel arrays."""
+    mean = np.asarray(mean, dtype=x.dtype).reshape(1, -1, 1, 1)
+    std = np.asarray(std, dtype=x.dtype).reshape(1, -1, 1, 1)
+    return (x - mean) / std

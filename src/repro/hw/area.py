@@ -1,0 +1,139 @@
+"""PE-array area and power models (paper Fig. 6).
+
+Fig. 6 normalises the PE-array (PEs + spike decoder) area and power of
+three design points:
+
+* **Base** — T2FSNN on SpinalFlow: linear PEs + per-layer-kernel decode
+  SRAM;
+* **I** — CAT applied: the unified kernel collapses the decode SRAM into
+  one small combinational LUT per group (paper: -12.7% area, -14.7%
+  power);
+* **I+II** — log-domain TTFS coding: linear PEs become log PEs
+  (additional -8.1% area, -8.6% power).
+
+Power is evaluated at full PE-array activity (one spike processed per
+group per cycle, all PEs integrating), which matches the synthesis-tool
+reporting conditions of Sec. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from . import energy as en
+from .config import HwConfig, baseline_config, cat_only_config, proposed_config
+from .pe import decoder_cost, pe_cost
+
+
+@dataclass(frozen=True)
+class PEArrayReport:
+    """Area (um^2) and power (mW) of the PE array, itemised."""
+
+    config: HwConfig
+    area_breakdown: Dict[str, float]
+    power_breakdown: Dict[str, float]
+
+    @property
+    def area_um2(self) -> float:
+        return sum(self.area_breakdown.values())
+
+    @property
+    def power_mw(self) -> float:
+        return sum(self.power_breakdown.values())
+
+    @property
+    def pe_area_um2(self) -> float:
+        return self.area_breakdown["pes"]
+
+    @property
+    def decoder_area_um2(self) -> float:
+        return self.area_breakdown["decoder"]
+
+
+def pe_array_report(cfg: HwConfig) -> PEArrayReport:
+    """Cost out the PE array at one design point."""
+    pe = pe_cost(cfg)
+    dec = decoder_cost(cfg)
+
+    area = {
+        "pes": pe.area_um2 * cfg.num_pes,
+        "decoder": dec.area_um2_per_group * cfg.pe_groups,
+    }
+
+    freq = cfg.frequency_hz
+    # Dynamic power at full activity: every PE does one op per cycle and
+    # each group decodes one spike per cycle.
+    pe_dyn_mw = pe.energy_pj_per_op * cfg.num_pes * freq * 1e-9
+    dec_dyn_mw = dec.energy_pj_per_access * cfg.pe_groups * freq * 1e-9
+    leak_mw = en.leakage_mw(sum(area.values()))
+    clock_mw = en.CLOCK_OVERHEAD_FRACTION * (pe_dyn_mw + dec_dyn_mw)
+    power = {
+        "pes": pe_dyn_mw,
+        "decoder": dec_dyn_mw,
+        "leakage": leak_mw,
+        "clock": clock_mw,
+    }
+    return PEArrayReport(config=cfg, area_breakdown=area, power_breakdown=power)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The three normalised design points of Fig. 6."""
+
+    base: PEArrayReport
+    cat: PEArrayReport  # I
+    cat_log: PEArrayReport  # I + II
+
+    @property
+    def area_saving_cat(self) -> float:
+        """Fractional area saved by step I (paper: 0.127)."""
+        return 1.0 - self.cat.area_um2 / self.base.area_um2
+
+    @property
+    def area_saving_log(self) -> float:
+        """Additional fraction saved by step II (paper: 0.081)."""
+        return (self.cat.area_um2 - self.cat_log.area_um2) / self.base.area_um2
+
+    @property
+    def power_saving_cat(self) -> float:
+        """Fractional power saved by step I (paper: 0.147)."""
+        return 1.0 - self.cat.power_mw / self.base.power_mw
+
+    @property
+    def power_saving_log(self) -> float:
+        """Additional fraction saved by step II (paper: 0.086)."""
+        return (self.cat.power_mw - self.cat_log.power_mw) / self.base.power_mw
+
+    def normalized_series(self) -> Dict[str, Dict[str, float]]:
+        """Fig. 6 bar values, normalised to the baseline."""
+        a0, p0 = self.base.area_um2, self.base.power_mw
+        return {
+            "area": {
+                "Base": 1.0,
+                "I": self.cat.area_um2 / a0,
+                "I+II": self.cat_log.area_um2 / a0,
+            },
+            "power": {
+                "Base": 1.0,
+                "I": self.cat.power_mw / p0,
+                "I+II": self.cat_log.power_mw / p0,
+            },
+        }
+
+
+def fig6_design_points() -> Fig6Result:
+    """Build the Base / I / I+II comparison of Fig. 6.
+
+    All three points are evaluated at the same coding window as the
+    proposed design (the decode-table *capacity* of the baseline is sized
+    for T2FSNN's per-layer kernels at T=80, its distinguishing cost).
+    """
+    base = baseline_config()
+    cat = cat_only_config()
+    cat_log = proposed_config()
+    return Fig6Result(
+        base=pe_array_report(base),
+        cat=pe_array_report(cat),
+        cat_log=pe_array_report(cat_log),
+    )

@@ -1,0 +1,102 @@
+"""Hardware configuration of the SNN processor (paper Sec. 4, Fig. 5).
+
+Defaults describe the implemented design point:
+
+* 28 nm, 0.99 V, 250 MHz;
+* input generator: 48 KB input buffer + min-find merge-sort unit;
+* PE array: 128 PEs in 4 groups of 32, each group with a 90 KB weight
+  buffer;
+* output processing: PPU + spike encoder (Vmem buffer, threshold LUT,
+  128-to-7 priority encoder), 192 B output buffer;
+* DMA to off-chip DRAM at 4 pJ/bit [15];
+* 5-bit logarithmic weights, log PEs (LUT + shift + add).
+
+``pe_style`` / ``decoder_style`` select the Fig. 6 design points:
+``("linear", "sram")`` is the T2FSNN-on-SpinalFlow baseline,
+``("linear", "lut")`` adds CAT's unified kernel (component I), and
+``("log", "lut")`` is the full proposed design (component I+II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+PEStyle = Literal["linear", "log"]
+DecoderStyle = Literal["sram", "lut"]
+
+
+@dataclass(frozen=True)
+class HwConfig:
+    """Design-point description of the SNN processor."""
+
+    # Technology / operating point (Table 4 row "Process/Voltage/Frequency")
+    process_nm: int = 28
+    voltage: float = 0.99
+    frequency_hz: float = 250e6
+
+    # Compute fabric
+    num_pes: int = 128
+    pe_groups: int = 4
+    pe_style: PEStyle = "log"
+    decoder_style: DecoderStyle = "lut"
+
+    # Memories
+    input_buffer_kb: float = 48.0
+    weight_buffer_kb: float = 90.0  # per PE group, x4
+    output_buffer_bytes: int = 192
+    vmem_bits: int = 20  # membrane accumulator width per PE
+
+    # Data formats
+    weight_bits: int = 5  # logarithmic weights (Fig. 4 selection)
+    kernel_value_bits: int = 10  # decoded kernel magnitude (linear PE operand)
+    spike_id_bits: int = 7  # 128-to-7 priority encoder output
+    timestep_bits: int = 7
+
+    # TTFS coding point (T=24, tau=4)
+    window: int = 24
+    tau: float = 4.0
+
+    # Baseline (per-layer kernels) decode storage: one table per layer per
+    # group must be resident for reconfigurable decoding.
+    num_layer_kernels: int = 16
+
+    # Off-chip interface
+    dram_pj_per_bit: float = 4.0
+
+    def __post_init__(self):
+        if self.num_pes % self.pe_groups:
+            raise ValueError("num_pes must divide evenly into pe_groups")
+
+    # ------------------------------------------------------------------
+    @property
+    def pes_per_group(self) -> int:
+        return self.num_pes // self.pe_groups
+
+    @property
+    def peak_sops_per_s(self) -> float:
+        """Peak synaptic operations per second (Table 4: 32 GSOP/s)."""
+        return self.num_pes * self.frequency_hz
+
+    @property
+    def total_weight_buffer_kb(self) -> float:
+        return self.weight_buffer_kb * self.pe_groups
+
+    def with_(self, **overrides) -> "HwConfig":
+        return replace(self, **overrides)
+
+
+def proposed_config(**overrides) -> HwConfig:
+    """The paper's implemented design (CAT + log PE): Fig. 6 'I+II'."""
+    return HwConfig(**overrides)
+
+
+def cat_only_config(**overrides) -> HwConfig:
+    """CAT unified kernel but linear PEs: Fig. 6 point 'I'."""
+    return HwConfig(pe_style="linear", decoder_style="lut", **overrides)
+
+
+def baseline_config(**overrides) -> HwConfig:
+    """T2FSNN-on-SpinalFlow baseline: per-layer kernel SRAM + linear PEs."""
+    return HwConfig(pe_style="linear", decoder_style="sram", window=80,
+                    tau=20.0, **overrides)

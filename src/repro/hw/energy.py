@@ -1,0 +1,138 @@
+"""28 nm energy and area primitives for the analytic hardware model.
+
+The constants are representative 28 nm standard-cell / SRAM-macro values,
+anchored to the scaling tables of Horowitz (ISSCC'14, 45 nm) shifted one
+node, and to the absolute numbers the paper reports (0.9102 mm^2 total at
+67.3 mW / 250 MHz, Table 4).  Two lumped parameters — per-PE
+control/storage overhead and SRAM macro periphery — were calibrated so
+the *baseline* PE-array decomposition matches Fig. 6 (decoder SRAM ~13%
+of PE-array area); every derived comparison (the I and I+II deltas, the
+Table 4 rows) then follows from the model without further tuning.
+EXPERIMENTS.md records the calibration.
+
+All areas in um^2, all energies in pJ, all at 0.99 V / 250 MHz unless
+stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ----------------------------------------------------------------------
+# Arithmetic primitives (28 nm, ~0.6x the 45nm Horowitz numbers)
+# ----------------------------------------------------------------------
+
+#: Energy of an n-bit ripple/carry-select add, pJ (linear in width).
+ADD_PJ_PER_BIT = 0.0025
+#: Energy of an n x m multiply, pJ (quadratic-ish; per bit-product).
+MULT_PJ_PER_BITPRODUCT = 0.00095
+#: Energy of an n-bit barrel shift, pJ per bit of datapath.
+SHIFT_PJ_PER_BIT = 0.0012
+#: Energy of a small combinational LUT read (4-16 entries), pJ per bit read.
+LUT_PJ_PER_BIT = 0.0008
+#: Energy of a comparator, pJ per bit.
+CMP_PJ_PER_BIT = 0.0015
+#: Register read+write energy, pJ per bit.
+REG_PJ_PER_BIT = 0.0018
+
+#: Area of an adder, um^2 per bit.
+ADD_UM2_PER_BIT = 7.0
+#: Area of a multiplier, um^2 per bit-product (n*m bit-products).
+MULT_UM2_PER_BITPRODUCT = 6.0
+#: Area of a barrel shifter, um^2 per bit of datapath (log stages folded in).
+SHIFT_UM2_PER_BIT = 9.5
+#: Area of small combinational LUT storage, um^2 per bit.
+LUT_UM2_PER_BIT = 1.6
+#: Area of a comparator, um^2 per bit.
+CMP_UM2_PER_BIT = 4.2
+#: Area of a flip-flop, um^2 per bit.
+REG_UM2_PER_BIT = 6.5
+
+# ----------------------------------------------------------------------
+# SRAM macros (28 nm high-density single-port)
+# ----------------------------------------------------------------------
+
+#: SRAM array area, um^2 per bit (dense macro).
+SRAM_UM2_PER_BIT = 0.18
+#: Fixed periphery overhead per macro instance, um^2 (calibrated lump).
+SRAM_MACRO_OVERHEAD_UM2 = 5800.0
+#: SRAM read energy, pJ per bit (small macros, <=128 KB).
+SRAM_RD_PJ_PER_BIT = 0.012
+#: SRAM write energy, pJ per bit.
+SRAM_WR_PJ_PER_BIT = 0.015
+#: Fixed per-access SRAM energy (wordline/decode/sense amps), pJ.
+SRAM_ACCESS_PJ = 1.05
+
+# ----------------------------------------------------------------------
+# Per-PE lumped overhead (control FSM, operand staging, Vmem register)
+# — calibrated so Fig. 6's baseline decomposition is reproduced.
+# ----------------------------------------------------------------------
+
+PE_CONTROL_UM2 = 980.0
+PE_CONTROL_PJ_PER_OP = 0.045
+
+#: Leakage power density, mW per mm^2 (28 nm HVT-dominant mix).
+LEAKAGE_MW_PER_MM2 = 4.0
+
+#: Clock-tree + top-level control overhead as a fraction of dynamic power.
+CLOCK_OVERHEAD_FRACTION = 0.18
+
+
+# ----------------------------------------------------------------------
+# Composed primitive models
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Primitive:
+    """An area/energy pair for one hardware primitive instance."""
+
+    name: str
+    area_um2: float
+    energy_pj: float  # per activation of the primitive
+
+
+def adder(bits: int) -> Primitive:
+    return Primitive(f"add{bits}", ADD_UM2_PER_BIT * bits, ADD_PJ_PER_BIT * bits)
+
+
+def multiplier(bits_a: int, bits_b: int) -> Primitive:
+    bp = bits_a * bits_b
+    return Primitive(
+        f"mult{bits_a}x{bits_b}", MULT_UM2_PER_BITPRODUCT * bp,
+        MULT_PJ_PER_BITPRODUCT * bp,
+    )
+
+
+def shifter(bits: int) -> Primitive:
+    return Primitive(f"shift{bits}", SHIFT_UM2_PER_BIT * bits,
+                     SHIFT_PJ_PER_BIT * bits)
+
+
+def small_lut(entries: int, bits: int) -> Primitive:
+    total = entries * bits
+    return Primitive(f"lut{entries}x{bits}", LUT_UM2_PER_BIT * total,
+                     LUT_PJ_PER_BIT * bits)
+
+
+def comparator(bits: int) -> Primitive:
+    return Primitive(f"cmp{bits}", CMP_UM2_PER_BIT * bits, CMP_PJ_PER_BIT * bits)
+
+
+def register(bits: int) -> Primitive:
+    return Primitive(f"reg{bits}", REG_UM2_PER_BIT * bits, REG_PJ_PER_BIT * bits)
+
+
+def sram_macro(kbytes: float) -> Primitive:
+    """One SRAM macro: area includes array + lumped periphery; the energy
+    field is the read energy *per bit*."""
+    bits = kbytes * 1024 * 8
+    return Primitive(
+        f"sram{kbytes:g}KB",
+        SRAM_UM2_PER_BIT * bits + SRAM_MACRO_OVERHEAD_UM2,
+        SRAM_RD_PJ_PER_BIT,
+    )
+
+
+def leakage_mw(area_um2: float) -> float:
+    """Static power of a block from its area."""
+    return LEAKAGE_MW_PER_MM2 * (area_um2 / 1e6)

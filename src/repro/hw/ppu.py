@@ -1,0 +1,47 @@
+"""Post-processing unit: bias add, output scaling, negative clamping.
+
+The PPU sits between the PE array and the spike encoder (Fig. 5).  After
+a layer's integration phase it drains the PE membrane registers, adds
+the layer bias (the ``+ b`` of Eq. 4, applied once per window), applies
+the output-layer normalisation scale when draining the readout layer,
+and clamps negative membranes to zero before they enter the Vmem buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import energy as en
+from .config import HwConfig
+
+
+@dataclass
+class PPU:
+    """Functional + cost model of the post-processing unit."""
+
+    cfg: HwConfig
+
+    def process(self, membranes: np.ndarray, bias: np.ndarray,
+                output_scale: float = 1.0,
+                clamp_negative: bool = True) -> np.ndarray:
+        """Apply bias, scale and clamping exactly as the hardware does."""
+        out = (np.asarray(membranes, dtype=np.float64)
+               + np.asarray(bias, dtype=np.float64)) * output_scale
+        if clamp_negative:
+            out = np.maximum(out, 0.0)
+        return out
+
+    def cycles(self, num_neurons: int) -> int:
+        """One drain cycle per PE batch per neuron lane."""
+        return int(np.ceil(num_neurons / self.cfg.num_pes))
+
+    def area_um2(self) -> float:
+        lanes = self.cfg.num_pes
+        return lanes * (en.adder(self.cfg.vmem_bits).area_um2
+                        + en.register(self.cfg.vmem_bits).area_um2)
+
+    def energy_pj_per_neuron(self) -> float:
+        return (en.adder(self.cfg.vmem_bits).energy_pj
+                + en.register(self.cfg.vmem_bits).energy_pj)

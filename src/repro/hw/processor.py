@@ -1,0 +1,234 @@
+"""Whole-processor performance and energy model (paper Table 4).
+
+Combines the block models into per-image metrics for a network geometry
+plus firing profile (analytic path) or a measured simulation result
+(spike-accurate path):
+
+* **cycles** — layers execute sequentially on the shared PE array.  A
+  layer's integration phase is bounded below by (a) total SOPs spread
+  over the PE array and (b) one sorted input spike delivered per cycle;
+  its encode phase walks the window per 128-neuron output batch and
+  drains one spike per cycle (Sec. 4.1).  DMA overlaps compute and only
+  shows through when it is the bottleneck.
+* **core energy** — per-SOP PE energy, decoder accesses, weight-buffer
+  row reads, encoder sweeps, PPU drains, min-find sorting, plus leakage
+  and a calibrated infrastructure term (top control + DMA engine + PLL)
+  over the runtime.
+* **DRAM energy** — the traffic ledger at 4 pJ/bit.
+
+The absolute numbers depend on the calibrated 28 nm constants of
+:mod:`repro.hw.energy`; the *relationships* Table 4 reports (SNN vs TPU
+energy/throughput ordering, dataset scaling) are model outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import energy as en
+from .area import pe_array_report
+from .config import HwConfig
+from .dma import DMAEngine, DramTraffic
+from .geometry import FiringProfile, LayerGeometry, NetworkGeometry
+from .input_generator import InputGenerator
+from .pe import decoder_cost, pe_cost
+from .ppu import PPU
+from .spike_encoder import SpikeEncoder
+
+#: Residual chip-level power (top control, DMA engine, PLL/IO) in mW,
+#: calibrated against the paper's 67.3 mW total (EXPERIMENTS.md).
+INFRASTRUCTURE_MW = 38.0
+
+
+@dataclass
+class LayerPerf:
+    """Per-layer slice of the performance model."""
+
+    name: str
+    input_spikes: int
+    output_spikes: int
+    sops: int
+    compute_cycles: int
+    encode_cycles: int
+    weight_bits: int
+    spike_read_bits: int
+    spike_write_bits: int
+
+    @property
+    def cycles(self) -> int:
+        return self.compute_cycles + self.encode_cycles
+
+
+@dataclass
+class ProcessorReport:
+    """Per-image execution report (one Table 4 column's worth)."""
+
+    config: HwConfig
+    layers: List[LayerPerf] = field(default_factory=list)
+    traffic: DramTraffic = field(default_factory=DramTraffic)
+    core_energy_uj: float = 0.0
+    area_mm2: float = 0.0
+    power_mw: float = 0.0
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    @property
+    def runtime_s(self) -> float:
+        return self.total_cycles / self.config.frequency_hz
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.runtime_s
+
+    @property
+    def dram_energy_uj(self) -> float:
+        return self.traffic.energy_uj(self.config.dram_pj_per_bit)
+
+    @property
+    def energy_per_image_uj(self) -> float:
+        """Total inference energy (core + DRAM), the Table 4 metric."""
+        return self.core_energy_uj + self.dram_energy_uj
+
+    @property
+    def total_sops(self) -> int:
+        return sum(l.sops for l in self.layers)
+
+    @property
+    def effective_gsops(self) -> float:
+        return self.total_sops / self.runtime_s / 1e9
+
+    @property
+    def peak_gsops(self) -> float:
+        return self.config.peak_sops_per_s / 1e9
+
+
+class SNNProcessor:
+    """The SpinalFlow-derived processor running a TTFS network."""
+
+    def __init__(self, cfg: Optional[HwConfig] = None):
+        self.cfg = cfg or HwConfig()
+        self.input_gen = InputGenerator(self.cfg)
+        self.encoder = SpikeEncoder(self.cfg)
+        self.ppu = PPU(self.cfg)
+        self.dma = DMAEngine(pj_per_bit=self.cfg.dram_pj_per_bit)
+
+    # ------------------------------------------------------------------
+    # Area (Table 4 row)
+    # ------------------------------------------------------------------
+    def area_breakdown_um2(self) -> Dict[str, float]:
+        cfg = self.cfg
+        pe_arr = pe_array_report(cfg)
+        weight_bufs = en.sram_macro(cfg.weight_buffer_kb).area_um2 * cfg.pe_groups
+        out_buf = en.sram_macro(cfg.output_buffer_bytes / 1024).area_um2
+        return {
+            "pe_array": pe_arr.area_um2,
+            "weight_buffers": weight_bufs,
+            "input_generator": self.input_gen.area_um2(),
+            "spike_encoder": self.encoder.area_um2(),
+            "ppu": self.ppu.area_um2(),
+            "output_buffer": out_buf,
+            "dma_top_control": 25_000.0,
+        }
+
+    def area_mm2(self) -> float:
+        return sum(self.area_breakdown_um2().values()) / 1e6
+
+    # ------------------------------------------------------------------
+    # Per-layer performance
+    # ------------------------------------------------------------------
+    def _layer_perf(self, layer: LayerGeometry, in_spikes: int,
+                    out_rate: float, is_output: bool) -> LayerPerf:
+        cfg = self.cfg
+        sops = in_spikes * layer.fanout if layer.kind == "conv" else (
+            in_spikes * layer.out_neurons
+        )
+        # Integration: PE-array throughput bound vs sorted-spike delivery
+        # bound, plus the min-find fill latency.
+        compute = max(int(np.ceil(sops / cfg.num_pes)), in_spikes)
+        compute += self.input_gen.minfind.tree_depth
+        out_spikes = 0 if is_output else int(round(layer.out_neurons * out_rate))
+        if is_output:
+            encode = self.ppu.cycles(layer.out_neurons)
+        else:
+            encode = self.encoder.cycles_estimate(layer.out_neurons, out_spikes)
+        # DRAM traffic for this layer.
+        weight_bits = layer.synapses * cfg.weight_bits
+        tiles = int(np.ceil(layer.out_neurons / cfg.num_pes))
+        reads = self.input_gen.dram_reads_per_spike(
+            in_spikes, tiles, spatial=layer.kind == "conv"
+        )
+        rec = self.input_gen.spike_record_bits
+        return LayerPerf(
+            name=layer.name,
+            input_spikes=in_spikes,
+            output_spikes=out_spikes,
+            sops=sops,
+            compute_cycles=compute,
+            encode_cycles=encode,
+            weight_bits=weight_bits,
+            spike_read_bits=int(in_spikes * reads * rec),
+            spike_write_bits=out_spikes * rec,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, geometry: NetworkGeometry,
+            profile: FiringProfile) -> ProcessorReport:
+        """Analytic evaluation of one image on the processor."""
+        cfg = self.cfg
+        report = ProcessorReport(config=cfg)
+        input_spikes = int(round(geometry.input_neurons * profile.input_rate))
+        # Input spikes are produced from the image by the (off-model) host
+        # pre-processing; they stream in once.
+        report.traffic.add_layer(
+            "input", 0, input_spikes * self.input_gen.spike_record_bits, 0
+        )
+        prev_rate = profile.input_rate
+        for i, layer in enumerate(geometry.layers):
+            is_output = i == len(geometry.layers) - 1
+            # A layer's input spike count follows its *input* neuron count
+            # (max-pooling between layers keeps the earliest spike of each
+            # window, shrinking the population but not the rate).
+            in_spikes = int(round(layer.in_neurons * prev_rate))
+            perf = self._layer_perf(layer, in_spikes,
+                                    profile.rate_for(i), is_output)
+            report.layers.append(perf)
+            report.traffic.add_layer(layer.name, perf.weight_bits,
+                                     perf.spike_read_bits,
+                                     perf.spike_write_bits)
+            prev_rate = profile.rate_for(i)
+        report.core_energy_uj = self._core_energy_uj(report)
+        report.area_mm2 = self.area_mm2()
+        report.power_mw = report.core_energy_uj / report.runtime_s * 1e-3
+        return report
+
+    # ------------------------------------------------------------------
+    def _core_energy_uj(self, report: ProcessorReport) -> float:
+        cfg = self.cfg
+        pe = pe_cost(cfg)
+        dec = decoder_cost(cfg)
+        pj = 0.0
+        for layer in report.layers:
+            pj += layer.sops * pe.energy_pj_per_op
+            # one decode per sorted spike per group
+            pj += layer.input_spikes * cfg.pe_groups * dec.energy_pj_per_access
+            # weight buffer: one row (pes_per_group weights) per spike/group
+            row_bits = cfg.pes_per_group * cfg.weight_bits
+            row_pj = en.SRAM_ACCESS_PJ + en.SRAM_RD_PJ_PER_BIT * row_bits
+            pj += layer.input_spikes * cfg.pe_groups * row_pj
+            # weight buffer fill (writes) once per layer
+            pj += layer.weight_bits * en.SRAM_WR_PJ_PER_BIT
+            # min-find sorting of the input stream
+            pj += layer.input_spikes * self.input_gen.energy_pj_per_spike()
+            # spike encoder sweep + PPU drain
+            pj += layer.encode_cycles * self.encoder.energy_pj_per_cycle()
+            pj += (layer.output_spikes + layer.sops // max(cfg.num_pes, 1)
+                   ) * self.ppu.energy_pj_per_neuron()
+        dynamic_uj = pj * 1e-6 * (1.0 + en.CLOCK_OVERHEAD_FRACTION)
+        static_mw = en.leakage_mw(self.area_mm2() * 1e6) + INFRASTRUCTURE_MW
+        static_uj = static_mw * report.runtime_s * 1e3
+        return dynamic_uj + static_uj

@@ -1,0 +1,114 @@
+"""Cycle-level model of the output spike encoder (paper Sec. 4.1, Fig. 5).
+
+The encoder turns a batch of membrane potentials into output spikes:
+
+1. Vmems move from the PPU into the Vmem buffer; negative Vmems are
+   zeroed (they can never reach a positive threshold).
+2. The encoding timestep sweeps the window; the threshold LUT supplies
+   ``theta(t) = theta0 * kappa(t)`` to 128 comparators.
+3. When several Vmems exceed the threshold, the 128-to-7 priority
+   encoder drains them one per cycle; each drained neuron's Vmem is
+   reset to zero through the decoder feedback path.
+4. The timestep advances when no comparator is asserted; encoding stops
+   early once every Vmem is zero, else at the end of the window.
+
+``encode`` reproduces this FSM exactly and reports the cycle count, so
+the performance model charges the true serialisation cost (T timestep
+advances + one cycle per emitted spike).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cat.kernels import NO_SPIKE, Base2Kernel
+from . import energy as en
+from .config import HwConfig
+
+_FIRE_TOL = 1e-9
+
+
+@dataclass
+class EncoderResult:
+    """Spikes and cost of one encoder batch."""
+
+    spike_times: np.ndarray  # per-neuron fire step or NO_SPIKE
+    events: List[Tuple[int, int]]  # (timestep, neuron_id) in emission order
+    cycles: int
+
+    @property
+    def num_spikes(self) -> int:
+        return len(self.events)
+
+
+class SpikeEncoder:
+    """The hardware encoder FSM for one batch of <=128 membrane values."""
+
+    def __init__(self, cfg: HwConfig, theta0: float = 1.0):
+        self.cfg = cfg
+        self.theta0 = theta0
+        self.kernel = Base2Kernel(tau=cfg.tau)
+        # Threshold LUT contents: theta(t) for t = 0..T.
+        self.threshold_lut = self.kernel.threshold(
+            np.arange(cfg.window + 1), theta0
+        )
+
+    def encode(self, vmems: np.ndarray) -> EncoderResult:
+        """Run the encoding FSM over one Vmem-buffer batch."""
+        vmems = np.asarray(vmems, dtype=np.float64).ravel()
+        if len(vmems) > self.cfg.num_pes:
+            raise ValueError(
+                f"encoder batch of {len(vmems)} exceeds {self.cfg.num_pes} PEs"
+            )
+        # Init: load Vmems, clamp negatives to zero (Sec. 4.1).
+        buffer = np.maximum(vmems, 0.0)
+        times = np.full(len(buffer), NO_SPIKE, dtype=np.int64)
+        events: List[Tuple[int, int]] = []
+        cycles = 1  # buffer load
+        for t in range(self.cfg.window + 1):
+            threshold = self.threshold_lut[t]
+            cycles += 1  # threshold fetch + compare
+            # Priority encoder drains one asserted comparator per cycle.
+            over = np.nonzero(buffer >= threshold - _FIRE_TOL)[0]
+            for neuron in over:
+                if buffer[neuron] == 0.0 and threshold > 0.0:
+                    continue
+                times[neuron] = t
+                events.append((t, int(neuron)))
+                buffer[neuron] = 0.0  # decoder feedback reset
+                cycles += 1
+            if not buffer.any():
+                break  # all Vmems reset: early exit
+        return EncoderResult(spike_times=times, events=events, cycles=cycles)
+
+    # ------------------------------------------------------------------
+    def cycles_estimate(self, num_neurons: int, num_spikes: int) -> int:
+        """Closed-form cycle count for the performance model.
+
+        One load + up to (T+1) timestep advances + one cycle per spike.
+        """
+        batches = int(np.ceil(num_neurons / self.cfg.num_pes))
+        return batches * (self.cfg.window + 2) + num_spikes
+
+    # ------------------------------------------------------------------
+    def area_um2(self) -> float:
+        """Encoder block area: Vmem buffer, comparators, LUT, prio-enc."""
+        cfg = self.cfg
+        vmem_buf = en.register(cfg.vmem_bits).area_um2 * cfg.num_pes
+        cmps = en.comparator(cfg.vmem_bits).area_um2 * cfg.num_pes
+        lut = en.small_lut(cfg.window + 1, cfg.kernel_value_bits).area_um2
+        # 128-to-7 priority encoder + 7-to-128 reset decoder (gate estimate).
+        prio = 18.0 * cfg.num_pes
+        dec = 8.0 * cfg.num_pes
+        return vmem_buf + cmps + lut + prio + dec
+
+    def energy_pj_per_cycle(self) -> float:
+        """Dynamic energy per active encoder cycle (all comparators fire)."""
+        cfg = self.cfg
+        cmps = en.comparator(cfg.vmem_bits).energy_pj * cfg.num_pes
+        lut = en.small_lut(cfg.window + 1, cfg.kernel_value_bits).energy_pj
+        prio = 0.08
+        return cmps + lut + prio

@@ -1,0 +1,338 @@
+"""Tile-level execution of a converted network on the processor.
+
+Two levels of fidelity beyond the analytic model of
+:mod:`repro.hw.processor`:
+
+* :class:`FixedPointInference` — runs every synaptic product through the
+  log PE's integer datapath (Eq. 17: log-domain add + frac LUT + shift)
+  with a fixed-point membrane accumulator, exactly as the PE array would.
+  Comparing its predictions against the float value-domain evaluation
+  validates the datapath precision choices (frac LUT width, accumulator
+  bits).
+* :class:`TiledCycleModel` — executes a layer the way the chip does:
+  output neurons in 128-wide tiles, input spikes sorted by the min-find
+  unit and streamed once per tile, membranes drained through the PPU and
+  the spike-encoder FSM per tile.  Cycle counts come from the *actual*
+  encoder FSM run, not an estimate, and can be compared against the
+  analytic ``SNNProcessor`` model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cat.convert import ConvertedSNN, LayerSpec
+from ..cat.kernels import NO_SPIKE, Base2Kernel
+from ..quant.logquant import LogQuantConfig, quantize_tensor
+from ..quant.lut import LogDomainPE, required_frac_bits
+from ..snn.spikes import SpikeTrain, encode_values
+from ..tensor import Tensor, im2col
+from .config import HwConfig
+from .input_generator import InputGenerator
+from .spike_encoder import SpikeEncoder
+
+
+# ----------------------------------------------------------------------
+# Fixed-point datapath inference
+# ----------------------------------------------------------------------
+
+@dataclass
+class FixedPointReport:
+    """Outcome of a fixed-point run against the float reference."""
+
+    predictions: np.ndarray
+    reference_predictions: np.ndarray
+    max_membrane_drift: float
+
+    @property
+    def agreement(self) -> float:
+        return float((self.predictions == self.reference_predictions).mean())
+
+
+class FixedPointInference:
+    """Run a ConvertedSNN through the integer log-PE datapath.
+
+    Weights are log-quantised (grid-aligned FSR so the PE operands are
+    exact), activations arrive as spike times (log2 grid by
+    construction), and every product is LUT+shift fixed point.  Biases
+    are added in fixed point at the accumulator scale, mirroring the PPU.
+    """
+
+    def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None,
+                 weight_config: Optional[LogQuantConfig] = None,
+                 precision_bits: int = 16):
+        self.snn = snn
+        self.cfg = cfg or HwConfig(window=snn.config.window,
+                                   tau=snn.config.tau)
+        if not math.log2(snn.config.tau).is_integer():
+            raise ValueError(
+                f"tau={snn.config.tau} violates Eq. 18; the log PE needs "
+                "a power-of-two tau")
+        self.weight_config = weight_config or LogQuantConfig(
+            bits=self.cfg.weight_bits, z_w=1, align_fsr=True)
+        frac = max(required_frac_bits(snn.config.tau, self.weight_config.z_w),
+                   1)
+        self.pe = LogDomainPE(frac_bits=frac, precision_bits=precision_bits)
+        self.kernel = Base2Kernel(tau=snn.config.tau)
+        self._quantized = [
+            quantize_tensor(spec.weight, self.weight_config)
+            if spec.is_weight_layer else None
+            for spec in snn.layers
+        ]
+
+    # ------------------------------------------------------------------
+    def _products_linear(self, times: np.ndarray, qt) -> np.ndarray:
+        """Fixed-point PSP sums for a linear layer.
+
+        ``times``: (N, in) spike times.  Returns (N, out) accumulator
+        values (int64 at the PE scale).
+        """
+        n, d_in = times.shape
+        d_out = qt.codes.shape[0]
+        x_log2 = -times / self.snn.config.tau  # log2 of decoded inputs
+        fired = times != NO_SPIKE
+        w_log2 = qt.log2_magnitudes  # (out, in)
+        w_nonzero = qt.codes >= 0
+        acc = np.zeros((n, d_out), dtype=np.int64)
+        xc = self.pe.encode_log2(x_log2)
+        wc = self.pe.encode_log2(w_log2)
+        for j in range(d_out):
+            active = fired & w_nonzero[j][None, :]
+            if not active.any():
+                continue
+            prods = self.pe.multiply(
+                xc, np.broadcast_to(wc[j], xc.shape),
+                np.broadcast_to(qt.signs[j], xc.shape),
+            )
+            acc[:, j] = np.where(active, prods, 0).sum(axis=1)
+        return acc
+
+    def _products_conv(self, times: np.ndarray, qt,
+                       spec: LayerSpec) -> np.ndarray:
+        """Fixed-point PSP sums for a conv layer via im2col unfolding."""
+        n = times.shape[0]
+        k = spec.kernel_size
+        # Unfold spike times; NO_SPIKE padding must survive the zero-pad,
+        # so shift times by +1 (0 becomes "no spike") and undo after.
+        shifted = np.where(times == NO_SPIKE, 0, times + 1).astype(np.float64)
+        cols, (oh, ow) = im2col(shifted, k, spec.stride, spec.padding)
+        col_times = np.where(cols == 0, NO_SPIKE, cols - 1)
+        flat_qt_codes = qt.codes.reshape(qt.codes.shape[0], -1)
+        # Reuse the linear path on the unfolded matrix.
+        class _Q:  # minimal view with the fields _products_linear needs
+            codes = flat_qt_codes
+            signs = qt.signs.reshape(qt.signs.shape[0], -1)
+            log2_magnitudes = qt.log2_magnitudes.reshape(
+                qt.codes.shape[0], -1)
+
+        acc = self._products_linear(col_times, _Q)
+        c_out = qt.codes.shape[0]
+        return acc.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    # ------------------------------------------------------------------
+    def run(self, images: np.ndarray) -> FixedPointReport:
+        cfg = self.snn.config
+        window = cfg.window
+        scale = 1 << self.pe.precision_bits
+        train = encode_values(np.asarray(images, dtype=np.float64),
+                              self.kernel, window, cfg.theta0)
+        max_drift = 0.0
+        reference = self.snn.forward_value(images)
+        for spec, qt in zip(self.snn.layers, self._quantized):
+            if spec.is_weight_layer:
+                if spec.kind == "conv":
+                    acc = self._products_conv(train.times, qt, spec)
+                    bias = spec.bias[None, :, None, None]
+                else:
+                    acc = self._products_linear(train.times, qt)
+                    bias = spec.bias[None, :]
+                # PPU: bias added once per window, in fixed point.
+                acc = acc + np.round(bias * scale).astype(np.int64)
+                membranes = acc.astype(np.float64) / scale
+                if spec.is_output:
+                    output = membranes * self.snn.output_scale
+                    break
+                train = encode_values(np.maximum(membranes, 0.0),
+                                      self.kernel, window, cfg.theta0)
+            elif spec.kind == "maxpool":
+                from ..snn.network import EventDrivenTTFSNetwork
+
+                train = EventDrivenTTFSNetwork._pool_times(spec, train)
+            elif spec.kind == "flatten":
+                train = train.reshape((train.shape[0], -1))
+        drift = float(np.max(np.abs(output - reference))) if output.size else 0.0
+        max_drift = max(max_drift, drift)
+        return FixedPointReport(
+            predictions=output.argmax(axis=1),
+            reference_predictions=reference.argmax(axis=1),
+            max_membrane_drift=max_drift,
+        )
+
+
+# ----------------------------------------------------------------------
+# Tile-level cycle accounting
+# ----------------------------------------------------------------------
+
+@dataclass
+class TileRecord:
+    """Execution of one 128-neuron output tile."""
+
+    layer: str
+    tile: int
+    sort_cycles: int
+    integrate_cycles: int
+    encode_cycles: int
+    input_spikes: int
+    output_spikes: int
+
+    @property
+    def cycles(self) -> int:
+        return self.sort_cycles + self.integrate_cycles + self.encode_cycles
+
+
+@dataclass
+class TiledRunReport:
+    """Whole-image tile-level execution report."""
+
+    tiles: List[TileRecord] = field(default_factory=list)
+    output: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(t.cycles for t in self.tiles)
+
+    def cycles_by_layer(self) -> dict:
+        out: dict = {}
+        for t in self.tiles:
+            out[t.layer] = out.get(t.layer, 0) + t.cycles
+        return out
+
+
+class TiledCycleModel:
+    """Execute a converted network tile-by-tile with the real encoder FSM.
+
+    Single-image granularity (the chip processes one inference at a
+    time, Sec. 4.1).  Membrane math uses the float value domain — the
+    fixed-point effects are FixedPointInference's job — but control flow
+    (tiling, sorted-spike streaming, encoder walk) mirrors the hardware.
+    """
+
+    def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None):
+        self.snn = snn
+        self.cfg = cfg or HwConfig(window=snn.config.window,
+                                   tau=snn.config.tau)
+        self.encoder = SpikeEncoder(
+            self.cfg.with_(window=snn.config.window, tau=snn.config.tau),
+            theta0=snn.config.theta0)
+        self.input_gen = InputGenerator(self.cfg)
+        self.kernel = Base2Kernel(tau=snn.config.tau, base=snn.config.base)
+
+    def run_image(self, image: np.ndarray) -> TiledRunReport:
+        if image.ndim == 3:
+            image = image[None]
+        if image.shape[0] != 1:
+            raise ValueError("tile-level simulation is single-image")
+        cfg = self.snn.config
+        report = TiledRunReport()
+        train = encode_values(np.asarray(image, dtype=np.float64),
+                              self.kernel, cfg.window, cfg.theta0)
+        layer_idx = 0
+        for spec in self.snn.layers:
+            if spec.is_weight_layer:
+                train = self._run_weight_layer(spec, train, report,
+                                               f"{spec.kind}{layer_idx}")
+                if spec.is_output:
+                    break
+                layer_idx += 1
+            elif spec.kind == "maxpool":
+                from ..snn.network import EventDrivenTTFSNetwork
+
+                train = EventDrivenTTFSNetwork._pool_times(spec, train)
+            elif spec.kind == "flatten":
+                train = train.reshape((train.shape[0], -1))
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_weight_layer(self, spec: LayerSpec, train: SpikeTrain,
+                          report: TiledRunReport, name: str):
+        cfg = self.snn.config
+        decoded = train.decode(self.kernel, cfg.theta0)
+        if spec.kind == "conv":
+            from ..tensor import conv2d as conv2d_op
+
+            membranes = conv2d_op(Tensor(decoded), Tensor(spec.weight),
+                                  Tensor(spec.bias), spec.stride,
+                                  spec.padding).data
+        else:
+            membranes = decoded @ spec.weight.T + spec.bias
+        flat = membranes.reshape(-1)
+        in_spikes = train.num_spikes
+        sort_cycles = self.input_gen.sort_cycles(in_spikes)
+
+        if spec.is_output:
+            report.output = membranes * self.snn.output_scale
+            report.tiles.append(TileRecord(
+                layer=name, tile=0, sort_cycles=sort_cycles,
+                integrate_cycles=max(in_spikes, 1), encode_cycles=0,
+                input_spikes=in_spikes, output_spikes=0))
+            return train
+
+        out_times = np.full(flat.shape, NO_SPIKE, dtype=np.int64)
+        n_pes = self.cfg.num_pes
+        num_tiles = int(np.ceil(len(flat) / n_pes))
+        out_shape = membranes.shape
+        tile_spikes = self._per_tile_input_spikes(spec, train, out_shape,
+                                                  num_tiles, n_pes)
+        for tile in range(num_tiles):
+            chunk = flat[tile * n_pes : (tile + 1) * n_pes]
+            enc = self.encoder.encode(chunk)
+            out_times[tile * n_pes : tile * n_pes + len(chunk)] = \
+                enc.spike_times
+            report.tiles.append(TileRecord(
+                layer=name, tile=tile,
+                # sorting is pipelined with the first tile's integration;
+                # charge it once per layer
+                sort_cycles=sort_cycles if tile == 0 else 0,
+                # SpinalFlow streams one sorted spike per cycle per tile;
+                # only the tile's receptive field streams (conv tiling)
+                integrate_cycles=max(tile_spikes[tile], 1),
+                encode_cycles=enc.cycles,
+                input_spikes=tile_spikes[tile],
+                output_spikes=enc.num_spikes))
+        return SpikeTrain(out_times.reshape(out_shape), cfg.window)
+
+    def _per_tile_input_spikes(self, spec: LayerSpec, train: SpikeTrain,
+                               out_shape, num_tiles: int,
+                               n_pes: int) -> List[int]:
+        """Input spikes each output tile must stream.
+
+        Fully-connected tiles need every input spike.  Conv tiles cover a
+        contiguous flat range of (C, H, W) outputs; only spikes inside
+        the covered rows' receptive field (± the kernel halo) stream.
+        """
+        total = train.num_spikes
+        if spec.kind != "conv":
+            return [total] * num_tiles
+        _, _, oh, ow = out_shape
+        k, s, p = spec.kernel_size, spec.stride, spec.padding
+        # spike row coordinates in the input feature map
+        fired = train.times[0] != NO_SPIKE  # (C_in, H_in, W_in)
+        spike_rows = np.nonzero(fired)[1]
+        counts: List[int] = []
+        per_map = oh * ow
+        for tile in range(num_tiles):
+            a = tile * n_pes
+            b = min((tile + 1) * n_pes, int(np.prod(out_shape[1:]))) - 1
+            y_lo = (a % per_map) // ow
+            y_hi = (b % per_map) // ow
+            if b // per_map > a // per_map:
+                y_lo, y_hi = 0, oh - 1  # tile spans channel boundary
+            in_lo = y_lo * s - p
+            in_hi = y_hi * s - p + k - 1
+            counts.append(int(((spike_rows >= in_lo)
+                               & (spike_rows <= in_hi)).sum()))
+        return counts

@@ -1,0 +1,59 @@
+"""Neural-network layer library built on the autograd engine."""
+
+from .module import Module, Parameter
+from .layers import (
+    ActivationSlot,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .sequential import Sequential
+from .vgg import (
+    VGG,
+    VGG16_FEATURES,
+    VGG7_FEATURES,
+    VGG9_FEATURES,
+    VGG_MICRO_FEATURES,
+    vgg16,
+    vgg7,
+    vgg9,
+    vgg_micro,
+)
+from . import init
+from .serialization import load_converted, load_model, save_converted, save_model
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ActivationSlot",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "VGG",
+    "vgg16",
+    "vgg9",
+    "vgg7",
+    "vgg_micro",
+    "VGG16_FEATURES",
+    "VGG9_FEATURES",
+    "VGG7_FEATURES",
+    "VGG_MICRO_FEATURES",
+    "init",
+    "save_model",
+    "load_model",
+    "save_converted",
+    "load_converted",
+]

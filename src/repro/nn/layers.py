@@ -1,0 +1,214 @@
+"""Core layers: Linear, Conv2d, BatchNorm2d, pooling, dropout, reshape."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, avg_pool2d, conv2d, max_pool2d
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), fan_in=in_features)
+        )
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in
+            )
+        )
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel axis of NCHW inputs.
+
+    The paper trains VGG-16 with batch normalization and fuses BN into the
+    convolution weights at ANN-to-SNN conversion time (Sec. 3.1); the fusion
+    lives in :mod:`repro.cat.convert` and consumes this layer's parameters
+    and running statistics.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        shape = (1, self.num_features, 1, 1)
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+            self._buffers["running_mean"] = self.running_mean
+            self._buffers["running_var"] = self.running_var
+            mean_t = x.mean(axis=(0, 2, 3), keepdims=True)
+            centred = x - mean_t
+            var_t = (centred * centred).mean(axis=(0, 2, 3), keepdims=True)
+            norm = centred / (var_t + self.eps).sqrt()
+        else:
+            mean = self.running_mean.reshape(shape)
+            var = self.running_var.reshape(shape)
+            norm = (x - Tensor(mean)) / Tensor(np.sqrt(var + self.eps))
+        return norm * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng_seed: int = 1234):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(rng_seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class ActivationSlot(Module):
+    """A hot-swappable activation used by conversion-aware training.
+
+    CAT (Sec. 3.1) switches the activation of *every* hidden layer during
+    training: ReLU for warm-up, clip for the bulk, and the TTFS activation
+    for the final epochs.  ``ActivationSlot`` holds the currently active
+    callable so the schedule can replace it in-place without rebuilding the
+    network.
+    """
+
+    def __init__(self, fn=None, name: str = "relu"):
+        super().__init__()
+        self.fn = fn if fn is not None else (lambda t: t.relu())
+        self.fn_name = name
+
+    def set_fn(self, fn, name: str) -> None:
+        self.fn = fn
+        self.fn_name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+    def __repr__(self) -> str:
+        return f"ActivationSlot({self.fn_name})"

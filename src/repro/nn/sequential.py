@@ -1,0 +1,40 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order; indexable and iterable."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[self._order[idx]]
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self:
+            x = module(x)
+        return x

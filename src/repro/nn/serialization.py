@@ -1,0 +1,104 @@
+"""Model and converted-SNN persistence (single-file .npz).
+
+``save_model`` / ``load_model`` round-trip a Module's parameters and
+buffers; ``save_converted`` / ``load_converted`` persist a lowered
+:class:`~repro.cat.convert.ConvertedSNN` together with its coding
+configuration so a trained-and-converted network can ship without its
+training graph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_model(model: Module, path: PathLike, **metadata) -> None:
+    """Write a module's state dict (plus JSON metadata) to ``path``."""
+    state = model.state_dict()
+    payload = {f"state/{k}": v for k, v in state.items()}
+    payload["__meta__"] = np.frombuffer(
+        json.dumps(metadata).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_model(model: Module, path: PathLike) -> dict:
+    """Load a state dict saved by :func:`save_model` into ``model``.
+
+    Returns the metadata dictionary stored alongside the weights.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        state = {
+            key[len("state/"):]: data[key]
+            for key in data.files
+            if key.startswith("state/")
+        }
+        meta = json.loads(bytes(data["__meta__"]).decode()) \
+            if "__meta__" in data.files else {}
+    model.load_state_dict(state)
+    return meta
+
+
+def save_converted(snn, path: PathLike) -> None:
+    """Persist a ConvertedSNN (layer specs + coding config)."""
+    from dataclasses import asdict
+
+    payload = {}
+    manifest = []
+    for i, spec in enumerate(snn.layers):
+        entry = {
+            "kind": spec.kind,
+            "stride": spec.stride,
+            "padding": spec.padding,
+            "kernel_size": spec.kernel_size,
+            "is_output": spec.is_output,
+            "has_weight": spec.weight is not None,
+        }
+        if spec.weight is not None:
+            payload[f"w/{i}"] = spec.weight
+            payload[f"b/{i}"] = spec.bias
+        manifest.append(entry)
+    header = {
+        "manifest": manifest,
+        "config": asdict(snn.config),
+        "output_scale": snn.output_scale,
+    }
+    payload["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_converted(path: PathLike):
+    """Inverse of :func:`save_converted`."""
+    from ..cat.convert import ConvertedSNN, LayerSpec
+    from ..cat.schedule import CATConfig
+
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(bytes(data["__header__"]).decode())
+        layers = []
+        for i, entry in enumerate(header["manifest"]):
+            weight = data[f"w/{i}"] if entry["has_weight"] else None
+            bias = data[f"b/{i}"] if entry["has_weight"] else None
+            layers.append(LayerSpec(
+                kind=entry["kind"], weight=weight, bias=bias,
+                stride=entry["stride"], padding=entry["padding"],
+                kernel_size=entry["kernel_size"],
+                is_output=entry["is_output"],
+            ))
+    config_kwargs = dict(header["config"])
+    # JSON round-trips tuples as lists; CATConfig stores milestones as a
+    # tuple and compares by value.
+    config_kwargs["milestones"] = tuple(config_kwargs["milestones"])
+    config = CATConfig(**config_kwargs)
+    snn = ConvertedSNN(layers=layers, config=config)
+    snn.output_scale = header["output_scale"]
+    return snn

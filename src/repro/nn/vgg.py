@@ -1,0 +1,198 @@
+"""VGG network builders used throughout the reproduction.
+
+The paper evaluates exclusively on VGG-16 (13 conv + 3 FC weight layers).
+For numpy-speed experiments the same topology family is provided at
+reduced scale (``vgg9``, ``vgg7``, ``vgg_micro``) — identical layer types
+and block structure, fewer channels/blocks — so tests and benchmarks can
+train in seconds while the full :func:`vgg16` remains available.
+
+Every hidden weight layer is followed by ``BatchNorm -> ActivationSlot``
+so conversion-aware training can swap activations in place, and the model
+exposes ``input_slot`` to optionally encode the input image with the TTFS
+activation (component II of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..tensor import Tensor
+from .layers import (
+    ActivationSlot,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+)
+from .module import Module
+from .sequential import Sequential
+
+LayerSpec = Union[int, str]
+
+VGG16_FEATURES: Tuple[LayerSpec, ...] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+VGG9_FEATURES: Tuple[LayerSpec, ...] = (32, 32, "M", 64, 64, "M", 128, 128, "M")
+VGG7_FEATURES: Tuple[LayerSpec, ...] = (16, "M", 32, "M", 64, "M")
+VGG_MICRO_FEATURES: Tuple[LayerSpec, ...] = (8, "M", 16, "M")
+
+
+class VGG(Module):
+    """A VGG-style network with CAT activation slots.
+
+    Parameters
+    ----------
+    features:
+        Sequence of output-channel counts interleaved with ``"M"`` markers
+        for 2x2 max-pooling, e.g. ``(64, 64, "M", ...)``.
+    num_classes:
+        Output dimension of the final linear layer.
+    in_channels / input_size:
+        Input image geometry (NCHW with square images).
+    classifier_dims:
+        Hidden widths of the fully-connected head.  The paper's VGG-16 has
+        two hidden FC layers before the output layer.
+    dropout:
+        Dropout probability in the classifier (0 disables).
+    """
+
+    def __init__(
+        self,
+        features: Sequence[LayerSpec],
+        num_classes: int,
+        in_channels: int = 3,
+        input_size: int = 32,
+        classifier_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.input_size = input_size
+        self.input_slot = ActivationSlot(fn=lambda t: t, name="identity")
+
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = input_size
+        for spec in features:
+            if spec == "M":
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+            else:
+                out_channels = int(spec)
+                layers.append(Conv2d(channels, out_channels, 3, padding=1, bias=False))
+                layers.append(BatchNorm2d(out_channels))
+                layers.append(ActivationSlot())
+                channels = out_channels
+        self.features = Sequential(*layers)
+
+        flat_dim = channels * spatial * spatial
+        head: List[Module] = [Flatten()]
+        in_dim = flat_dim
+        for width in classifier_dims:
+            head.append(Linear(in_dim, width))
+            head.append(ActivationSlot())
+            if dropout > 0:
+                head.append(Dropout(dropout))
+            in_dim = width
+        head.append(Linear(in_dim, num_classes))
+        self.classifier = Sequential(*head)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.input_slot(x)
+        x = self.features(x)
+        return self.classifier(x)
+
+    # ------------------------------------------------------------------
+    def activation_slots(self, include_input: bool = False) -> List[ActivationSlot]:
+        """All hidden-layer activation slots (optionally the input slot too)."""
+        slots = [m for m in self.modules() if isinstance(m, ActivationSlot)]
+        if not include_input:
+            slots = [s for s in slots if s is not self.input_slot]
+        return slots
+
+    def set_hidden_activation(self, fn, name: str) -> None:
+        """Swap the activation of every hidden layer (CAT stage switch)."""
+        for slot in self.activation_slots(include_input=False):
+            slot.set_fn(fn, name)
+
+    def set_input_encoding(self, fn, name: str) -> None:
+        """Apply ``fn`` to the network input (component II of Table 1)."""
+        self.input_slot.set_fn(fn, name)
+
+    # ------------------------------------------------------------------
+    def weight_layers(self) -> List[Module]:
+        """Conv and Linear layers in forward order (used by conversion)."""
+        return [m for m in self.modules() if isinstance(m, (Conv2d, Linear))]
+
+    @property
+    def num_weight_layers(self) -> int:
+        return len(self.weight_layers())
+
+    @property
+    def num_pipeline_stages(self) -> int:
+        """Number of time windows from input encoding to output readout.
+
+        One window encodes the input image into spikes and each weight
+        layer occupies one further window (integration then fire), so the
+        converted SNN's end-to-end latency is ``num_pipeline_stages * T``:
+        17*T for VGG-16, matching Table 2's 1360 timesteps at T=80.
+        """
+        return self.num_weight_layers + 1
+
+
+def vgg16(num_classes: int = 10, in_channels: int = 3, input_size: int = 32,
+          dropout: float = 0.0) -> VGG:
+    """Full VGG-16 (13 conv + 3 FC) as used in the paper."""
+    return VGG(
+        VGG16_FEATURES,
+        num_classes,
+        in_channels=in_channels,
+        input_size=input_size,
+        classifier_dims=(512, 512),
+        dropout=dropout,
+    )
+
+
+def vgg9(num_classes: int = 10, in_channels: int = 3, input_size: int = 32,
+         dropout: float = 0.0) -> VGG:
+    """Scaled VGG (6 conv + 2 FC) for CPU-speed experiments."""
+    return VGG(
+        VGG9_FEATURES,
+        num_classes,
+        in_channels=in_channels,
+        input_size=input_size,
+        classifier_dims=(128,),
+        dropout=dropout,
+    )
+
+
+def vgg7(num_classes: int = 10, in_channels: int = 3, input_size: int = 16,
+         dropout: float = 0.0) -> VGG:
+    """Small VGG (3 conv + 2 FC) for fast benchmark sweeps."""
+    return VGG(
+        VGG7_FEATURES,
+        num_classes,
+        in_channels=in_channels,
+        input_size=input_size,
+        classifier_dims=(64,),
+        dropout=dropout,
+    )
+
+
+def vgg_micro(num_classes: int = 4, in_channels: int = 3, input_size: int = 8) -> VGG:
+    """Micro VGG (2 conv + 1 FC) for unit tests."""
+    return VGG(
+        VGG_MICRO_FEATURES,
+        num_classes,
+        in_channels=in_channels,
+        input_size=input_size,
+        classifier_dims=(),
+    )

@@ -1,0 +1,6 @@
+"""Optimizers and LR schedules for the training substrate."""
+
+from .sgd import SGD
+from .lr_scheduler import ConstantLR, MultiStepLR
+
+__all__ = ["SGD", "MultiStepLR", "ConstantLR"]

@@ -1,0 +1,49 @@
+"""Learning-rate schedules.
+
+The paper divides the learning rate by 10 at epochs 80, 120 and 160 out
+of 200 (Sec. 3.1); :class:`MultiStepLR` reproduces that schedule and the
+CAT trainer scales the milestones for shorter runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .sgd import SGD
+
+
+class MultiStepLR:
+    """Divide the LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: SGD, milestones: Sequence[int], gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate in effect *during* ``epoch`` (0-indexed)."""
+        factor = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma**factor)
+
+    def step(self, epoch: int | None = None) -> float:
+        """Advance to ``epoch`` (or the next one) and update the optimizer."""
+        self.last_epoch = self.last_epoch + 1 if epoch is None else int(epoch)
+        self.optimizer.lr = self.lr_at(self.last_epoch)
+        return self.optimizer.lr
+
+
+class ConstantLR:
+    """No-op schedule (useful in tests)."""
+
+    def __init__(self, optimizer: SGD):
+        self.optimizer = optimizer
+        self.last_epoch = -1
+
+    def lr_at(self, epoch: int) -> float:
+        return self.optimizer.lr
+
+    def step(self, epoch: int | None = None) -> float:
+        self.last_epoch = self.last_epoch + 1 if epoch is None else int(epoch)
+        return self.optimizer.lr

@@ -1,0 +1,67 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+Matches the paper's training setup (Sec. 3.1): SGD, momentum 0.9,
+weight decay 5e-4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class SGD:
+    """SGD with classical momentum and decoupled-from-nothing L2 decay.
+
+    The update matches torch.optim.SGD:
+        g   = grad + weight_decay * w
+        v   = momentum * v + g
+        w  -= lr * v
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 5e-4,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self.weight_decay = state["weight_decay"]
+        self._velocity = [np.asarray(v).copy() for v in state["velocity"]]

@@ -1,0 +1,34 @@
+"""Fixed-point helpers for the hardware datapath models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_fixed(x: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Round floats onto a 2**-frac_bits grid, returned as int64 codes."""
+    return np.round(np.asarray(x, dtype=np.float64) * (1 << frac_bits)
+                    ).astype(np.int64)
+
+
+def from_fixed(codes: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Inverse of :func:`to_fixed`."""
+    return np.asarray(codes, dtype=np.float64) / (1 << frac_bits)
+
+
+def saturate(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Clamp signed integer codes to a ``bits``-wide two's complement range."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return np.clip(codes, lo, hi)
+
+
+def quantization_snr_db(x: np.ndarray, frac_bits: int) -> float:
+    """Signal-to-quantisation-noise ratio of a fixed-point rounding."""
+    x = np.asarray(x, dtype=np.float64)
+    err = from_fixed(to_fixed(x, frac_bits), frac_bits) - x
+    signal = float(np.mean(x**2))
+    noise = float(np.mean(err**2))
+    if noise == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)

@@ -1,0 +1,80 @@
+"""Post-training logarithmic quantisation of a converted SNN.
+
+The paper quantises the converted VGG-16's weights to 5-bit logarithmic
+representation (Sec. 3.2, Fig. 4) *after* training — PTQ, not QAT (it
+notes QAT would recover further accuracy; that extension is exercised in
+the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..cat.convert import ConvertedSNN
+from .logquant import LogQuantConfig, QuantizedTensor, quantize_tensor
+
+
+@dataclass
+class QuantizationReport:
+    """Per-layer record of a quantisation pass."""
+
+    layer_names: List[str]
+    mse: List[float]
+    fsr: List[float]
+    zero_fraction: List[float]
+
+    def summary(self) -> str:
+        lines = ["layer            mse          fsr      zero%"]
+        for name, mse, fsr, zf in zip(self.layer_names, self.mse, self.fsr,
+                                      self.zero_fraction):
+            lines.append(f"{name:12s} {mse:12.3e} {fsr:8.4f} {100 * zf:8.2f}")
+        return "\n".join(lines)
+
+
+def quantize_snn(snn: ConvertedSNN, config: LogQuantConfig
+                 ) -> tuple[ConvertedSNN, QuantizationReport]:
+    """Return a deep-copied SNN with log-quantised weights + a report.
+
+    Biases stay in fixed point at full precision (they are added once per
+    neuron per window by the PPU, not by the log PEs), matching the
+    hardware split in Sec. 4.
+    """
+    q = copy.deepcopy(snn)
+    names, mses, fsrs, zeros = [], [], [], []
+    idx = 0
+    for spec in q.layers:
+        if not spec.is_weight_layer:
+            continue
+        qt: QuantizedTensor = quantize_tensor(spec.weight, config)
+        values = qt.values
+        mses.append(float(np.mean((values - spec.weight) ** 2)))
+        fsrs.append(qt.fsr)
+        zeros.append(float((qt.codes < 0).mean()))
+        names.append(f"{spec.kind}{idx}")
+        spec.weight = values
+        idx += 1
+    report = QuantizationReport(layer_names=names, mse=mses, fsr=fsrs,
+                                zero_fraction=zeros)
+    return q, report
+
+
+def accuracy_vs_bits(snn: ConvertedSNN, images: np.ndarray, labels: np.ndarray,
+                     bit_widths=(4, 5, 6, 7, 8), z_ws=(0, 1, 2),
+                     batch_size: int = 256) -> dict:
+    """The Fig. 4 sweep: accuracy for each (bit width, log base) pair.
+
+    Returns ``{z_w: {bits: accuracy}}`` plus the fp32 ceiling under key
+    ``"fp32"``.
+    """
+    results: dict = {"fp32": snn.accuracy(images, labels, batch_size)}
+    for z_w in z_ws:
+        row = {}
+        for bits in bit_widths:
+            q, _ = quantize_snn(snn, LogQuantConfig(bits=bits, z_w=z_w))
+            row[bits] = q.accuracy(images, labels, batch_size)
+        results[z_w] = row
+    return results

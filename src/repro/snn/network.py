@@ -1,0 +1,280 @@
+"""Event-driven simulation of a converted TTFS spiking network.
+
+The network consumes the :class:`~repro.cat.convert.LayerSpec` list that
+:func:`repro.cat.convert.convert` produces and simulates the pipeline of
+Fig. 1: every layer integrates its predecessor's spikes through the
+dendrite kernel timestep by timestep, then encodes its own membrane
+potentials into output spikes with the threshold sweep.
+
+Two execution paths exist and are asserted equal by the test-suite:
+
+* ``timestep`` — faithful: loop over the window, decode the spikes of
+  each timestep, push their PSPs through the layer's synapses, then run
+  the fire-phase threshold sweep (this is what the hardware does);
+* ``closed_form`` — fast: decode the whole spike train at once (the
+  affine map is linear, so integration order is irrelevant) and use the
+  closed-form spike time (Eq. 14).
+
+The simulation also records the statistics the hardware model consumes:
+spike counts, synaptic operations (SOPs) and per-layer occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from ..cat.convert import ConvertedSNN, LayerSpec
+from ..cat.kernels import NO_SPIKE, Base2Kernel
+from ..tensor import Tensor, conv2d as conv2d_op
+from .neuron import IFNeuronPool
+from .spikes import SpikeTrain, encode_values
+
+
+@dataclass
+class LayerTrace:
+    """Per-layer record of one simulation run."""
+
+    name: str
+    input_spikes: int
+    output_spikes: int
+    neurons: int
+    sops: int  # synaptic operations = sum over input spikes of fan-out
+    membrane: Optional[np.ndarray] = None
+
+
+@dataclass
+class SimulationResult:
+    """Output of an event-driven run."""
+
+    output: np.ndarray  # readout membrane potentials
+    traces: List[LayerTrace] = field(default_factory=list)
+    window: int = 0
+    num_stages: int = 0
+    early_firing: bool = False
+
+    @property
+    def latency_timesteps(self) -> int:
+        """End-to-end latency: one window per pipeline stage; early
+        firing overlaps integrate/fire phases and halves it (Table 2)."""
+        total = self.num_stages * self.window
+        return total // 2 if self.early_firing else total
+
+    @property
+    def total_spikes(self) -> int:
+        return sum(t.output_spikes for t in self.traces)
+
+    @property
+    def total_sops(self) -> int:
+        return sum(t.sops for t in self.traces)
+
+    def predictions(self) -> np.ndarray:
+        return self.output.argmax(axis=1)
+
+
+def _conv_fanout(spec: LayerSpec, out_spatial: int) -> int:
+    """Average fan-out of one input spike in a conv layer.
+
+    Each input event updates at most K*K*C_out membranes (SpinalFlow's
+    dataflow); borders reduce the average slightly, which we fold in via
+    the ratio of valid positions.
+    """
+    k = spec.kernel_size
+    c_out = spec.weight.shape[0]
+    return k * k * c_out
+
+
+class EventDrivenTTFSNetwork:
+    """Simulate a :class:`ConvertedSNN` spike-by-spike.
+
+    ``early_firing`` enables the T2FSNN latency optimisation [4]: a
+    neuron may fire *during* its integration window based on its partial
+    membrane sum, halving end-to-end latency.  The paper's design keeps
+    the phases separate (exactness over latency); this flag exists so the
+    trade-off can be measured (see ``bench_early_firing``).
+    """
+
+    def __init__(self, snn: ConvertedSNN,
+                 mode: Literal["timestep", "closed_form"] = "closed_form",
+                 record_membranes: bool = False,
+                 early_firing: bool = False):
+        self.snn = snn
+        self.config = snn.config
+        self.kernel = Base2Kernel(tau=snn.config.tau, base=snn.config.base)
+        self.mode = mode
+        self.record_membranes = record_membranes
+        self.early_firing = early_firing
+
+    # ------------------------------------------------------------------
+    def _affine_no_bias(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        if spec.kind == "conv":
+            return conv2d_op(Tensor(x), Tensor(spec.weight), None,
+                             spec.stride, spec.padding).data.astype(np.float64)
+        return (x @ spec.weight.T).astype(np.float64)
+
+    def _integrate(self, spec: LayerSpec, train: SpikeTrain,
+                   pool: IFNeuronPool) -> None:
+        """Integration phase: accumulate PSPs into the pool's membranes."""
+        theta0 = self.config.theta0
+        if self.mode == "timestep":
+            for t in range(train.window + 1):
+                mask = train.mask_at(t)
+                if not mask.any():
+                    continue
+                decoded_step = mask * float(self.kernel.value(t)) * theta0
+                pool.integrate(self._affine_no_bias(spec, decoded_step))
+        else:
+            decoded = train.decode(self.kernel, theta0)
+            pool.integrate(self._affine_no_bias(spec, decoded))
+        pool.add_bias(self._bias_shaped(spec, pool.shape))
+
+    def _integrate_and_fire_early(self, spec: LayerSpec, train: SpikeTrain,
+                                  pool: IFNeuronPool) -> SpikeTrain:
+        """Overlapped integration + fire (T2FSNN 'early firing').
+
+        At every timestep the layer first integrates the spikes arriving
+        at that step, then compares the *partial* membrane against the
+        decaying threshold.  Neurons therefore fire on incomplete sums:
+        latency halves, at the cost of coding error when later inputs
+        would have changed the membrane.
+        """
+        theta0 = self.config.theta0
+        window = train.window
+        pool.add_bias(self._bias_shaped(spec, pool.shape))
+        for t in range(window + 1):
+            mask = train.mask_at(t)
+            if mask.any():
+                decoded_step = mask * float(self.kernel.value(t)) * theta0
+                pool.integrate(self._affine_no_bias(spec, decoded_step))
+            pool.fire_step(t)
+        return SpikeTrain(times=pool.fire_times.copy(), window=window)
+
+    @staticmethod
+    def _bias_shaped(spec: LayerSpec, shape) -> np.ndarray:
+        if spec.kind == "conv":
+            return spec.bias[None, :, None, None]
+        return spec.bias[None, :]
+
+    def _output_shape(self, spec: LayerSpec, in_shape) -> tuple:
+        if spec.kind == "conv":
+            n, _, h, w = in_shape
+            k, s, p = spec.kernel_size, spec.stride, spec.padding
+            oh = (h + 2 * p - k) // s + 1
+            ow = (w + 2 * p - k) // s + 1
+            return (n, spec.weight.shape[0], oh, ow)
+        return (in_shape[0], spec.weight.shape[0])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pool_times(spec: LayerSpec, train: SpikeTrain) -> SpikeTrain:
+        """Max-pool in the time domain: the earliest spike wins.
+
+        Under TTFS coding the maximum value corresponds to the minimum
+        spike time, so spatial max-pooling is a windowed min over fire
+        times (NO_SPIKE treated as +inf).
+        """
+        times = train.times
+        n, c, h, w = times.shape
+        k, s = spec.kernel_size, spec.stride
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        big = np.where(times == NO_SPIKE, np.iinfo(np.int64).max, times)
+        sn, sc, sh, sw = big.strides
+        view = np.lib.stride_tricks.as_strided(
+            big, shape=(n, c, oh, ow, k, k),
+            strides=(sn, sc, sh * s, sw * s, sh, sw), writeable=False,
+        )
+        pooled = view.min(axis=(4, 5))
+        pooled = np.where(pooled == np.iinfo(np.int64).max, NO_SPIKE, pooled)
+        return SpikeTrain(pooled, train.window)
+
+    # ------------------------------------------------------------------
+    def run(self, images: np.ndarray) -> SimulationResult:
+        """Simulate the full pipeline on a batch of images."""
+        cfg = self.config
+        window = cfg.window
+        result = SimulationResult(output=np.empty(0), window=window,
+                                  num_stages=self.snn.num_pipeline_stages,
+                                  early_firing=self.early_firing)
+
+        # Stage 0: encode the input image into first spikes.
+        train = encode_values(np.asarray(images, dtype=np.float64),
+                              self.kernel, window, cfg.theta0)
+        result.traces.append(
+            LayerTrace(name="input-encoder", input_spikes=0,
+                       output_spikes=train.num_spikes,
+                       neurons=train.num_neurons, sops=0)
+        )
+
+        layer_idx = 0
+        for spec in self.snn.layers:
+            if spec.is_weight_layer:
+                out_shape = self._output_shape(spec, train.shape)
+                pool = IFNeuronPool(shape=out_shape, kernel=self.kernel,
+                                    theta0=cfg.theta0)
+                in_spikes = train.num_spikes
+                early_train = None
+                if self.early_firing and not spec.is_output:
+                    early_train = self._integrate_and_fire_early(spec, train,
+                                                                 pool)
+                else:
+                    self._integrate(spec, train, pool)
+                if spec.is_output:
+                    output = pool.membrane * self.snn.output_scale
+                    sops = in_spikes * (spec.weight.shape[0] if spec.kind == "linear"
+                                        else _conv_fanout(spec, out_shape[-1]))
+                    result.traces.append(
+                        LayerTrace(name=f"{spec.kind}{layer_idx}(out)",
+                                   input_spikes=in_spikes, output_spikes=0,
+                                   neurons=int(np.prod(out_shape)),
+                                   sops=sops,
+                                   membrane=output if self.record_membranes else None)
+                    )
+                    result.output = output
+                else:
+                    if early_train is not None:
+                        out_train = early_train
+                    elif self.mode == "timestep":
+                        out_train = pool.run_fire_phase(window)
+                    else:
+                        out_train = pool.fire_closed_form(window)
+                    sops = in_spikes * (spec.weight.shape[0] if spec.kind == "linear"
+                                        else _conv_fanout(spec, out_shape[-1]))
+                    result.traces.append(
+                        LayerTrace(name=f"{spec.kind}{layer_idx}",
+                                   input_spikes=in_spikes,
+                                   output_spikes=out_train.num_spikes,
+                                   neurons=int(np.prod(out_shape)),
+                                   sops=sops,
+                                   membrane=pool.membrane.copy()
+                                   if self.record_membranes else None)
+                    )
+                    train = out_train
+                layer_idx += 1
+            elif spec.kind == "maxpool":
+                train = self._pool_times(spec, train)
+            elif spec.kind == "avgpool":
+                # Average pooling has no exact single-spike representation;
+                # decode, pool in value domain, re-encode (documented loss).
+                from ..tensor import avg_pool2d
+
+                decoded = train.decode(self.kernel, cfg.theta0)
+                pooled = avg_pool2d(Tensor(decoded), spec.kernel_size,
+                                    spec.stride).data
+                train = encode_values(pooled, self.kernel, window, cfg.theta0)
+            elif spec.kind == "flatten":
+                train = train.reshape((train.shape[0], -1))
+        return result
+
+    # ------------------------------------------------------------------
+    def accuracy(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 64) -> float:
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            res = self.run(images[start : start + batch_size])
+            correct += int(
+                (res.predictions() == labels[start : start + batch_size]).sum()
+            )
+        return correct / len(labels)

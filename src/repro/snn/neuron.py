@@ -1,0 +1,85 @@
+"""Integrate-and-fire neuron pools with kernel-based dynamic thresholds.
+
+Implements the two phases of a T2FSNN/CAT neuron (paper Sec. 2.2, Fig. 1):
+
+* **integration (decoding) phase** — incoming spikes are decoded through
+  the dendrite kernel and accumulated into the membrane potential
+  (Eqs. 3, 4, 7);
+* **fire (encoding) phase** — the membrane is compared against the
+  exponentially decaying threshold ``theta(t) = theta0 * kernel(t)``
+  (Eq. 6) and the neuron emits its single spike at the first crossing
+  (Eq. 2), then resets so it cannot fire again.
+
+The pool is vectorised over an arbitrary tensor of neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..cat.kernels import NO_SPIKE
+from .spikes import SpikeTrain
+
+_FIRE_TOL = 1e-9  # membranes exactly on-threshold fire (float guard)
+
+
+@dataclass
+class IFNeuronPool:
+    """A tensor of IF neurons sharing one threshold kernel."""
+
+    shape: Tuple[int, ...]
+    kernel: object  # Base2Kernel or ExpKernel
+    theta0: float = 1.0
+    membrane: np.ndarray = field(init=False)
+    fire_times: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        self.membrane = np.zeros(self.shape, dtype=np.float64)
+        self.fire_times = np.full(self.shape, NO_SPIKE, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Integration phase
+    # ------------------------------------------------------------------
+    def integrate(self, psp: np.ndarray) -> None:
+        """Accumulate a post-synaptic-potential increment (Eq. 3)."""
+        self.membrane += psp
+
+    def add_bias(self, bias: np.ndarray) -> None:
+        """Biases integrate once per window (the +b term of Eq. 4)."""
+        self.membrane += bias
+
+    # ------------------------------------------------------------------
+    # Fire phase
+    # ------------------------------------------------------------------
+    def fire_step(self, t: int) -> np.ndarray:
+        """One timestep of the fire phase; returns the new-spike mask.
+
+        A neuron fires when its membrane reaches the current threshold and
+        it has not fired before; fired membranes are reset to zero exactly
+        like the Vmem buffer of the hardware spike encoder (Sec. 4.1).
+        """
+        threshold = self.theta0 * float(self.kernel.value(t))
+        fire = (self.membrane >= threshold - _FIRE_TOL) & (self.fire_times == NO_SPIKE)
+        self.fire_times[fire] = t
+        self.membrane[fire] = 0.0
+        return fire
+
+    def run_fire_phase(self, window: int) -> SpikeTrain:
+        """Sweep the threshold over the whole window (Eq. 2 + Eq. 6)."""
+        for t in range(window + 1):
+            self.fire_step(t)
+        return SpikeTrain(times=self.fire_times.copy(), window=window)
+
+    def fire_closed_form(self, window: int) -> SpikeTrain:
+        """Closed-form spike times (Eq. 8 / Eq. 14): must match the sweep."""
+        times = self.kernel.spike_time(
+            np.maximum(self.membrane, 0.0), theta0=self.theta0, window=window
+        )
+        return SpikeTrain(times=times, window=window)
+
+    def reset(self) -> None:
+        self.membrane[:] = 0.0
+        self.fire_times[:] = NO_SPIKE

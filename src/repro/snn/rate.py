@@ -1,0 +1,133 @@
+"""Rate-coded SNN execution — the comparison TTFS coding is built against.
+
+The paper's efficiency argument (Sec. 1-2) rests on TTFS emitting *at
+most one spike per neuron* where classic rate-coded conversions [5] need
+spike counts proportional to activation x window.  This module runs the
+same converted network under rate coding so the spike-count and
+accuracy-vs-latency trade-offs can be measured side by side
+(``bench_rate_vs_ttfs``).
+
+Semantics (standard IF rate conversion, reset-by-subtraction [5]):
+
+* the input feature map is presented as a constant current every
+  timestep (equivalently, Poisson spikes in expectation);
+* each IF neuron integrates ``W x + b`` per step and emits a spike
+  whenever its membrane crosses ``theta0``, subtracting the threshold;
+* a neuron's spike *count* over T steps approximates its ReLU activation
+  scaled by T; the readout layer accumulates membrane without firing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cat.convert import ConvertedSNN, LayerSpec
+from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
+
+
+@dataclass
+class RateSimulationResult:
+    """Spike statistics and readout of a rate-coded run."""
+
+    output: np.ndarray
+    timesteps: int
+    spikes_per_layer: List[int] = field(default_factory=list)
+    neurons_per_layer: List[int] = field(default_factory=list)
+
+    @property
+    def total_spikes(self) -> int:
+        return sum(self.spikes_per_layer)
+
+    @property
+    def mean_spikes_per_neuron(self) -> float:
+        neurons = sum(self.neurons_per_layer)
+        return self.total_spikes / max(neurons, 1)
+
+    def predictions(self) -> np.ndarray:
+        return self.output.argmax(axis=1)
+
+
+class RateCodedNetwork:
+    """Run a :class:`ConvertedSNN`'s layers under rate coding.
+
+    Reuses the converted (BN-fused) weights; the TTFS coding config is
+    ignored except for ``theta0``.  ``timesteps`` plays the role TTFS's
+    window plays: more steps = finer rate resolution = higher accuracy,
+    but spike counts scale with it.
+    """
+
+    def __init__(self, snn: ConvertedSNN, timesteps: int = 32):
+        if timesteps < 1:
+            raise ValueError("need at least one timestep")
+        self.snn = snn
+        self.timesteps = timesteps
+        self.theta0 = snn.config.theta0
+
+    # ------------------------------------------------------------------
+    def _affine(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
+        if spec.kind == "conv":
+            return conv2d_op(Tensor(x), Tensor(spec.weight),
+                             Tensor(spec.bias), spec.stride,
+                             spec.padding).data.astype(np.float64)
+        return (x @ spec.weight.T + spec.bias).astype(np.float64)
+
+    def run(self, images: np.ndarray) -> RateSimulationResult:
+        """Simulate T timesteps of the whole network."""
+        theta = self.theta0
+        steps = self.timesteps
+        x = np.asarray(images, dtype=np.float64)
+
+        # Per-layer persistent state: membrane potential.
+        membranes: List[Optional[np.ndarray]] = [None] * len(self.snn.layers)
+        spike_counts = [0] * len(self.snn.layers)
+        neuron_counts = [0] * len(self.snn.layers)
+        readout = None
+
+        for _ in range(steps):
+            signal = x  # input current each step (rate ~ pixel value)
+            for li, spec in enumerate(self.snn.layers):
+                if spec.is_weight_layer:
+                    z = self._affine(spec, signal)
+                    if membranes[li] is None:
+                        membranes[li] = np.zeros_like(z)
+                    membranes[li] += z
+                    if spec.is_output:
+                        readout = membranes[li]
+                        signal = None
+                        break
+                    fire = membranes[li] >= theta
+                    membranes[li] -= theta * fire  # reset by subtraction
+                    spike_counts[li] += int(fire.sum())
+                    neuron_counts[li] = fire.size
+                    signal = fire.astype(np.float64) * theta
+                elif spec.kind == "maxpool":
+                    signal = max_pool2d(Tensor(signal), spec.kernel_size,
+                                        spec.stride).data
+                elif spec.kind == "avgpool":
+                    signal = avg_pool2d(Tensor(signal), spec.kernel_size,
+                                        spec.stride).data
+                elif spec.kind == "flatten":
+                    signal = signal.reshape(len(signal), -1)
+
+        output = (readout / steps) * self.snn.output_scale
+        kept = [i for i, spec in enumerate(self.snn.layers)
+                if spec.is_weight_layer and not spec.is_output]
+        return RateSimulationResult(
+            output=output,
+            timesteps=steps,
+            spikes_per_layer=[spike_counts[i] for i in kept],
+            neurons_per_layer=[neuron_counts[i] for i in kept],
+        )
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 64) -> float:
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            res = self.run(images[start : start + batch_size])
+            correct += int(
+                (res.predictions() == labels[start : start + batch_size]).sum()
+            )
+        return correct / len(labels)

@@ -1,0 +1,166 @@
+"""im2col-based convolution and pooling primitives with autograd support.
+
+These are the compute-heavy primitives of the training substrate.  Forward
+and backward are both expressed as matrix multiplies over an im2col
+unfolding, which is the fastest portable formulation in pure numpy.
+
+Layout convention: NCHW (batch, channels, height, width), matching the
+description of feature maps in the paper's VGG-16 workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N*OH*OW, C*K*K)."""
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Strided view: (N, C, OH, OW, K, K)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlapping patches."""
+    n, c, h, w = x_shape
+    oh = _out_size(h, kernel, stride, pad)
+    ow = _out_size(w, kernel, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for ki in range(kernel):
+        h_end = ki + stride * oh
+        for kj in range(kernel):
+            w_end = kj + stride * ow
+            padded[:, :, ki:h_end:stride, kj:w_end:stride] += cols6[:, :, :, :, ki, kj]
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int, pad: int) -> Tensor:
+    """2-D convolution, NCHW, square kernel.
+
+    Parameters
+    ----------
+    x:       input tensor (N, C_in, H, W)
+    weight:  filter tensor (C_out, C_in, K, K)
+    bias:    optional bias (C_out,)
+    """
+    n = x.data.shape[0]
+    c_out, c_in, k, _ = weight.data.shape
+    cols, (oh, ow) = im2col(x.data, k, stride, pad)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*K*K)
+    out = cols @ w_mat.T  # (N*OH*OW, C_out)
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    x_shape = x.data.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        # g: (N, C_out, OH, OW) -> (N*OH*OW, C_out)
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        g_cols = g_mat @ w_mat  # (N*OH*OW, C_in*K*K)
+        gx = col2im(g_cols, x_shape, k, stride, pad)
+        gw = (g_mat.T @ cols).reshape(weight.data.shape)
+        if bias is None:
+            return gx, gw
+        gb = g_mat.sum(axis=0)
+        return gx, gw, gb
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling, NCHW, square window, no padding."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.data.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    patches = view.reshape(n, c, oh, ow, kernel * kernel)
+    arg = patches.argmax(axis=-1)
+    out_data = np.take_along_axis(patches, arg[..., None], axis=-1)[..., 0]
+    x_shape = x.data.shape
+
+    def backward(g):
+        gx = np.zeros(x_shape, dtype=g.dtype)
+        ki = arg // kernel
+        kj = arg % kernel
+        ni, ci, oi, oj = np.indices((n, c, oh, ow))
+        hi = oi * stride + ki
+        wj = oj * stride + kj
+        np.add.at(gx, (ni, ci, hi, wj), g)
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out_data), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling, NCHW, square window, no padding."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.data.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out_data = view.mean(axis=(4, 5))
+    x_shape = x.data.shape
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g):
+        gx = np.zeros(x_shape, dtype=g.dtype)
+        gk = g * scale
+        for ki in range(kernel):
+            for kj in range(kernel):
+                gx[:, :, ki : ki + stride * oh : stride, kj : kj + stride * ow : stride] += gk
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out_data), (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions -> (N, C)."""
+    return x.mean(axis=(2, 3))

@@ -1,0 +1,168 @@
+"""CAT activation functions: Eq. 10/11 (phi_TTFS) and Eq. 12/13 (phi_Clip)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat import (
+    Base2Kernel,
+    ClipActivation,
+    ReLUActivation,
+    TTFSActivation,
+    make_activation,
+    ttfs_quantize_array,
+)
+from repro.tensor import Tensor
+
+
+class TestTTFSForward:
+    def test_zero_below_min_representable(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        below = act.min_representable * 0.5
+        assert act.array(np.array([below]))[0] == 0.0
+
+    def test_saturates_at_theta0(self):
+        act = TTFSActivation(window=24, tau=4.0, theta0=1.0)
+        assert act.array(np.array([1.0, 2.0, 100.0])).tolist() == [1.0, 1.0, 1.0]
+
+    def test_negative_maps_to_zero(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        assert np.all(act.array(np.array([-0.5, -10.0])) == 0.0)
+
+    def test_idempotent(self):
+        """Quantising twice equals quantising once (projection property)."""
+        act = TTFSActivation(window=24, tau=4.0)
+        xs = np.linspace(0, 1.2, 200)
+        once = act.array(xs)
+        assert np.allclose(act.array(once), once)
+
+    def test_grid_values_are_fixed_points(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        grid = Base2Kernel(tau=4.0).grid(24)
+        assert np.allclose(act.array(grid), grid)
+
+    def test_output_is_lower_bound(self):
+        """phi_TTFS rounds down in the log domain: phi(x) <= x on (0, theta0)."""
+        act = TTFSActivation(window=24, tau=4.0)
+        xs = np.linspace(0.02, 0.999, 500)
+        assert np.all(act.array(xs) <= xs + 1e-9)
+
+    def test_monotone_nondecreasing(self):
+        act = TTFSActivation(window=12, tau=2.0)
+        xs = np.linspace(0, 1.5, 1000)
+        ys = act.array(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+
+    def test_num_levels(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        xs = np.linspace(0.001, 1.0, 5000)
+        levels = np.unique(act.array(xs))
+        # T+1 grid levels plus the zero level
+        assert len(levels) == act.num_levels + 1
+
+    def test_matches_kernel_decode_of_spike_time(self):
+        """The activation IS the SNN coding: decode(spike_time(x))."""
+        act = TTFSActivation(window=24, tau=4.0)
+        k = act.kernel
+        xs = np.linspace(0.001, 1.3, 300)
+        times = k.spike_time(xs, window=24)
+        want = k.decode(times)
+        assert np.allclose(act.array(xs), want)
+
+    def test_theta0_scaling(self):
+        act1 = TTFSActivation(window=12, tau=2.0, theta0=1.0)
+        act2 = TTFSActivation(window=12, tau=2.0, theta0=2.0)
+        xs = np.linspace(0.01, 1.0, 100)
+        assert np.allclose(act2.array(2 * xs), 2 * act1.array(xs))
+
+    def test_base_e_variant(self):
+        act = TTFSActivation(window=24, tau=8.0, base=np.e)
+        xs = np.linspace(0.05, 0.95, 50)
+        out = act.array(xs)
+        # outputs live on the e^(-k/8) grid
+        ks = -8.0 * np.log(out)
+        assert np.allclose(ks, np.round(ks), atol=1e-6)
+
+
+class TestTTFSGradient:
+    def test_ste_inside_window(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        act(x).sum().backward()
+        assert x.grad[0] == 1.0
+
+    def test_zero_gradient_above_theta0(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        act(x).sum().backward()
+        assert x.grad[0] == 0.0
+
+    def test_zero_gradient_below_range(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        x = Tensor(np.array([act.min_representable / 3]), requires_grad=True)
+        act(x).sum().backward()
+        assert x.grad[0] == 0.0
+
+    def test_gradient_mask_vectorised(self):
+        act = TTFSActivation(window=24, tau=4.0)
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        act(x).sum().backward()
+        assert np.allclose(x.grad, [0, 1, 0])
+
+
+class TestClip:
+    def test_forward(self):
+        act = ClipActivation(theta0=1.0)
+        out = act.array(np.array([-1.0, 0.5, 2.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_gradient_window(self):
+        act = ClipActivation(theta0=1.0)
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        act(x).sum().backward()
+        assert np.allclose(x.grad, [0, 1, 0])
+
+    def test_identity_inside(self):
+        act = ClipActivation(theta0=1.0)
+        xs = np.linspace(0.01, 0.99, 50)
+        assert np.allclose(act.array(xs), xs)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [("relu", ReLUActivation),
+                                          ("clip", ClipActivation),
+                                          ("ttfs", TTFSActivation)])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_activation(kind, 24, 4.0), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_activation("gelu", 24, 4.0)
+
+    def test_factory_passes_params(self):
+        act = make_activation("ttfs", 12, 2.0, theta0=0.5, base=4.0)
+        assert act.window == 12 and act.tau == 2.0
+        assert act.theta0 == 0.5 and act.base == 4.0
+
+
+@given(st.floats(-2.0, 2.0), st.sampled_from([(12, 2.0), (24, 4.0), (48, 8.0)]))
+@settings(max_examples=100, deadline=None)
+def test_quantize_bounds_property(x, params):
+    """0 <= phi(x) <= theta0 and phi(x) <= max(x, 0) on (-inf, theta0)."""
+    window, tau = params
+    y = float(ttfs_quantize_array(np.array([x]), window, tau)[0])
+    assert 0.0 <= y <= 1.0
+    if x < 1.0:
+        assert y <= max(x, 0.0) + 1e-9
+
+
+@given(st.floats(0.001, 0.999))
+@settings(max_examples=100, deadline=None)
+def test_error_bounded_by_grid_gap(x):
+    """|phi(x) - x| is at most one grid step: x * (1 - 2^(-1/tau))."""
+    window, tau = 24, 4.0
+    act = TTFSActivation(window=window, tau=tau)
+    y = float(act.array(np.array([x]))[0])
+    if x >= act.min_representable:
+        assert x - y <= x * (1 - 2 ** (-1 / tau)) + 1e-9

@@ -1,0 +1,158 @@
+"""ANN-to-SNN conversion: BN fusion, lowering, value-domain equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.cat import (
+    CATConfig,
+    ConvertedSNN,
+    TTFSActivation,
+    apply_output_weight_norm,
+    conversion_loss,
+    convert,
+    extract_layer_specs,
+    fuse_conv_bn,
+)
+from repro.nn import BatchNorm2d, Conv2d, vgg_micro
+from repro.tensor import Tensor
+
+
+class TestBNFusion:
+    def test_fused_equals_conv_then_bn(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1, bias=False)
+        bn = BatchNorm2d(4)
+        # Give BN non-trivial statistics and affine params.
+        bn.running_mean = rng.standard_normal(4).astype(np.float32)
+        bn.running_var = rng.random(4).astype(np.float32) + 0.5
+        bn._buffers["running_mean"] = bn.running_mean
+        bn._buffers["running_var"] = bn.running_var
+        bn.weight.data = rng.random(4).astype(np.float32) + 0.5
+        bn.bias.data = rng.standard_normal(4).astype(np.float32)
+        bn.eval()
+
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        want = bn(conv(Tensor(x))).data
+
+        w, b = fuse_conv_bn(conv, bn)
+        from repro.tensor import conv2d
+
+        got = conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 1).data
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_fusion_with_conv_bias(self, rng):
+        conv = Conv2d(2, 3, 3, padding=1, bias=True)
+        conv.bias.data = rng.standard_normal(3).astype(np.float32)
+        bn = BatchNorm2d(3)
+        bn.eval()
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        want = bn(conv(Tensor(x))).data
+        w, b = fuse_conv_bn(conv, bn)
+        from repro.tensor import conv2d
+
+        got = conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 1).data
+        assert np.allclose(got, want, atol=1e-4)
+
+
+class TestExtraction:
+    def test_spec_kinds_in_order(self):
+        model = vgg_micro(num_classes=4, input_size=8)
+        specs = extract_layer_specs(model)
+        kinds = [s.kind for s in specs]
+        assert kinds == ["conv", "maxpool", "conv", "maxpool", "flatten",
+                         "linear"]
+
+    def test_last_weight_layer_marked_output(self):
+        model = vgg_micro()
+        specs = extract_layer_specs(model)
+        weights = [s for s in specs if s.is_weight_layer]
+        assert weights[-1].is_output
+        assert not any(s.is_output for s in weights[:-1])
+
+    def test_bias_always_materialised(self):
+        model = vgg_micro()
+        for spec in extract_layer_specs(model):
+            if spec.is_weight_layer:
+                assert spec.bias is not None
+
+    def test_synapse_count(self):
+        model = vgg_micro()
+        specs = extract_layer_specs(model)
+        convs = [s for s in specs if s.kind == "conv"]
+        assert convs[0].synapse_count() == 8 * 3 * 9
+
+
+class TestValueEquivalence:
+    def test_snn_forward_matches_ann_with_ttfs_everywhere(
+            self, trained_micro, tiny_dataset, micro_cat_config):
+        """After full CAT training the converted SNN must agree with the
+        ANN evaluated with phi_TTFS activations (the paper's zero-loss
+        claim), up to float32/float64 noise."""
+        model = trained_micro.model
+        model.eval()
+        x = tiny_dataset.test_x[:16]
+        ann_logits = model(Tensor(x)).data
+        snn = convert(model, micro_cat_config)
+        snn_logits = snn.forward_value(x)
+        assert np.allclose(ann_logits, snn_logits, atol=1e-3)
+
+    def test_predictions_identical(self, trained_micro, tiny_dataset,
+                                   micro_cat_config):
+        model = trained_micro.model
+        model.eval()
+        x = tiny_dataset.test_x
+        ann_pred = model(Tensor(x)).data.argmax(axis=1)
+        snn = convert(model, micro_cat_config)
+        snn_pred = snn.forward_value(x).argmax(axis=1)
+        assert (ann_pred == snn_pred).mean() > 0.97
+
+    def test_layer_activations_on_grid(self, converted_micro, tiny_dataset):
+        acts = converted_micro.layer_activations(tiny_dataset.test_x[:4])
+        act_fn = converted_micro.activation
+        for layer_act in acts[:-1]:  # all but readout
+            assert np.allclose(act_fn.array(layer_act), layer_act, atol=1e-7)
+
+
+class TestOutputNorm:
+    def test_scale_bounds_outputs(self, trained_micro, tiny_dataset,
+                                  micro_cat_config):
+        snn = convert(trained_micro.model, micro_cat_config)
+        lam = apply_output_weight_norm(snn, tiny_dataset.train_x[:32])
+        assert lam > 0
+        out = snn.forward_value(tiny_dataset.train_x[:32])
+        assert np.abs(out).max() <= 1.0 + 1e-6
+
+    def test_scale_preserves_argmax(self, trained_micro, tiny_dataset,
+                                    micro_cat_config):
+        snn1 = convert(trained_micro.model, micro_cat_config)
+        snn2 = convert(trained_micro.model, micro_cat_config,
+                       calibration=tiny_dataset.train_x[:32])
+        p1 = snn1.forward_value(tiny_dataset.test_x).argmax(axis=1)
+        p2 = snn2.forward_value(tiny_dataset.test_x).argmax(axis=1)
+        assert np.array_equal(p1, p2)
+
+
+class TestLatency:
+    def test_latency_formula(self, converted_micro, micro_cat_config):
+        # micro VGG: 3 weight layers -> 4 pipeline stages
+        assert converted_micro.num_pipeline_stages == 4
+        assert converted_micro.latency_timesteps == 4 * micro_cat_config.window
+
+    def test_vgg16_latency_matches_table2(self):
+        """17 stages: T=80 -> 1360, T=48 -> 816, T=24 -> 408."""
+        from repro.nn import vgg16
+
+        model = vgg16(num_classes=10)
+        stages = model.num_pipeline_stages
+        assert stages * 80 == 1360
+        assert stages * 48 == 816
+        assert stages * 24 == 408
+
+
+class TestConversionLoss:
+    def test_sign_convention(self):
+        assert conversion_loss(0.9, 0.85) == pytest.approx(-0.05)
+        assert conversion_loss(0.9, 0.9) == 0.0
+
+    def test_accuracy_method(self, converted_micro, tiny_dataset):
+        acc = converted_micro.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert 0.5 <= acc <= 1.0  # trained model is far above chance

@@ -1,0 +1,112 @@
+"""CATConfig schedule semantics (Sec. 3.1 recipe, Table 1 methods)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat import CATConfig, METHODS, paper_config
+
+
+class TestPaperRecipe:
+    def test_default_is_paper_config(self):
+        cfg = paper_config()
+        assert cfg.epochs == 200
+        assert cfg.relu_epochs == 10
+        assert cfg.ttfs_epoch == 170
+        assert cfg.milestones == (80, 120, 160)
+        assert cfg.window == 24 and cfg.tau == 4.0
+
+    def test_stage_progression(self):
+        cfg = paper_config()
+        assert cfg.stage_at(0) == "relu"
+        assert cfg.stage_at(9) == "relu"
+        assert cfg.stage_at(10) == "clip"
+        assert cfg.stage_at(169) == "clip"
+        assert cfg.stage_at(170) == "ttfs"
+        assert cfg.stage_at(199) == "ttfs"
+
+    def test_stages_transitions(self):
+        cfg = paper_config()
+        assert cfg.stages() == [(0, "relu"), (10, "clip"), (170, "ttfs")]
+
+    def test_ttfs_switch_after_final_lr_drop(self):
+        """The paper's key stability constraint (Fig. 3)."""
+        cfg = paper_config()
+        assert cfg.ttfs_epoch >= max(cfg.milestones)
+
+
+class TestMethods:
+    def test_method_i_never_uses_ttfs(self):
+        cfg = paper_config(method="I")
+        assert not cfg.uses_input_encoding
+        assert not cfg.uses_hidden_ttfs
+        assert cfg.stage_at(199) == "clip"
+
+    def test_method_i_ii_input_only(self):
+        cfg = paper_config(method="I+II")
+        assert cfg.uses_input_encoding
+        assert not cfg.uses_hidden_ttfs
+
+    def test_method_full(self):
+        cfg = paper_config(method="I+II+III")
+        assert cfg.uses_input_encoding
+        assert cfg.uses_hidden_ttfs
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            CATConfig(method="II+III")
+
+    def test_methods_constant(self):
+        assert METHODS == ("I", "I+II", "I+II+III")
+
+
+class TestValidation:
+    def test_negative_tau(self):
+        with pytest.raises(ValueError):
+            CATConfig(tau=-1.0)
+
+    def test_zero_window(self):
+        with pytest.raises(ValueError):
+            CATConfig(window=0)
+
+    def test_relu_epochs_beyond_run(self):
+        with pytest.raises(ValueError):
+            CATConfig(epochs=5, relu_epochs=10)
+
+
+class TestScaled:
+    def test_scaled_preserves_structure(self):
+        cfg = paper_config().scaled(20)
+        assert cfg.epochs == 20
+        assert cfg.relu_epochs == 1
+        assert cfg.ttfs_epoch == 17
+        assert cfg.milestones == (8, 12, 16)
+        # key invariant preserved: TTFS switch after last LR drop
+        assert cfg.ttfs_epoch >= max(cfg.milestones)
+
+    def test_scaled_with_override(self):
+        cfg = paper_config().scaled(20, lr=0.05)
+        assert cfg.lr == 0.05
+
+    def test_with_functional_update(self):
+        cfg = paper_config()
+        cfg2 = cfg.with_(tau=8.0)
+        assert cfg2.tau == 8.0 and cfg.tau == 4.0
+
+
+@given(st.integers(10, 200))
+@settings(max_examples=50, deadline=None)
+def test_scaled_invariants_hold_for_any_length(epochs):
+    cfg = paper_config().scaled(epochs)
+    assert 1 <= cfg.relu_epochs < cfg.epochs
+    assert cfg.relu_epochs <= cfg.ttfs_epoch < cfg.epochs
+    assert all(1 <= m for m in cfg.milestones)
+    assert cfg.stage_at(0) == "relu"
+    assert cfg.stage_at(cfg.epochs - 1) == "ttfs"
+
+
+@given(st.integers(0, 199), st.sampled_from(list(METHODS)))
+@settings(max_examples=100, deadline=None)
+def test_stage_is_always_valid(epoch, method):
+    cfg = paper_config(method=method)
+    assert cfg.stage_at(epoch) in ("relu", "clip", "ttfs")

@@ -1,0 +1,114 @@
+"""The CAT training loop: schedule execution, history, learning."""
+
+import numpy as np
+
+from repro.cat import CATConfig, CATTrainer, evaluate, train_cat
+from repro.data import make_dataset
+from repro.nn import init as nninit, vgg_micro
+
+
+def small_cfg(**overrides):
+    base = dict(window=12, tau=2.0, method="I+II+III", epochs=5,
+                relu_epochs=1, ttfs_epoch=3, lr=0.05, milestones=(2, 3, 4),
+                batch_size=32, augment=False, seed=0)
+    base.update(overrides)
+    return CATConfig(**base)
+
+
+class TestScheduleExecution:
+    def test_history_records_stages(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        result = train_cat(model, tiny_dataset, small_cfg())
+        stages = [r.stage for r in result.history]
+        assert stages == ["relu", "clip", "clip", "ttfs", "ttfs"]
+
+    def test_history_records_lr_schedule(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        result = train_cat(model, tiny_dataset, small_cfg())
+        lrs = [r.lr for r in result.history]
+        assert np.allclose(lrs, [0.05, 0.05, 0.005, 5e-4, 5e-5])
+
+    def test_activation_slots_end_in_ttfs(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        train_cat(model, tiny_dataset, small_cfg())
+        assert all(s.fn_name == "ttfs" for s in model.activation_slots())
+
+    def test_method_i_keeps_clip(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        train_cat(model, tiny_dataset, small_cfg(method="I"))
+        assert all(s.fn_name == "clip" for s in model.activation_slots())
+        assert model.input_slot.fn_name == "identity"
+
+    def test_method_i_ii_encodes_input(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        train_cat(model, tiny_dataset, small_cfg(method="I+II"))
+        assert model.input_slot.fn_name == "ttfs-input"
+        assert all(s.fn_name == "clip" for s in model.activation_slots())
+
+
+class TestLearning:
+    def test_accuracy_above_chance(self, trained_micro):
+        assert trained_micro.final_test_acc > 0.5  # chance = 0.25
+
+    def test_loss_decreases(self, trained_micro):
+        losses = [r.train_loss for r in trained_micro.history]
+        assert losses[-1] < losses[0]
+
+    def test_best_and_final(self, trained_micro):
+        assert trained_micro.best_test_acc >= trained_micro.final_test_acc
+
+    def test_accuracy_curve_length(self, trained_micro, micro_cat_config):
+        assert len(trained_micro.accuracy_curve()) == micro_cat_config.epochs
+
+
+class TestEvaluate:
+    def test_evaluate_restores_mode(self, trained_micro, tiny_dataset):
+        model = trained_micro.model
+        model.train()
+        evaluate(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert model.training
+        model.eval()
+        evaluate(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert not model.training
+
+    def test_evaluate_batching_consistent(self, trained_micro, tiny_dataset):
+        model = trained_micro.model
+        a = evaluate(model, tiny_dataset.test_x, tiny_dataset.test_y,
+                     batch_size=7)
+        b = evaluate(model, tiny_dataset.test_x, tiny_dataset.test_y,
+                     batch_size=64)
+        assert a == b
+
+
+class TestCrashDetection:
+    def test_stable_run_not_crashed(self, trained_micro):
+        assert not trained_micro.crashed()
+
+    def test_crash_detection_on_synthetic_history(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        result = train_cat(model, tiny_dataset, small_cfg(epochs=4,
+                                                          ttfs_epoch=2))
+        # fabricate a collapse after the switch
+        for rec in result.history:
+            if rec.epoch >= 2:
+                rec.test_acc = 0.05
+        assert result.crashed()
+
+
+class TestTrainerInternals:
+    def test_trainer_reuses_stage(self, tiny_dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        trainer = CATTrainer(model, tiny_dataset, small_cfg())
+        s1 = trainer._apply_stage(1)
+        fn1 = model.activation_slots()[0].fn
+        s2 = trainer._apply_stage(2)
+        fn2 = model.activation_slots()[0].fn
+        assert s1 == s2 == "clip"
+        assert fn1 is fn2  # unchanged stage does not rebuild the activation

@@ -1,0 +1,54 @@
+"""Shared fixtures: tiny datasets and pre-trained micro models.
+
+Training fixtures are session-scoped so the expensive work happens once
+per pytest run; every config is deliberately tiny (micro VGG, 8x8
+images) to keep the whole suite fast on CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cat import CATConfig, convert, train_cat
+from repro.data import make_dataset
+from repro.nn import init as nninit, vgg_micro
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """4-class, 8x8x3 synthetic dataset (deterministic)."""
+    return make_dataset(4, 8, train_per_class=30, test_per_class=15,
+                        seed=1234, noise_std=0.3)
+
+
+@pytest.fixture(scope="session")
+def micro_cat_config():
+    """Fast full-method CAT config used by the shared trained model."""
+    return CATConfig(
+        window=12, tau=2.0, method="I+II+III",
+        epochs=6, relu_epochs=1, ttfs_epoch=4,
+        lr=0.05, milestones=(3, 4, 5), batch_size=32,
+        augment=False, seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_micro(tiny_dataset, micro_cat_config):
+    """A micro VGG trained with the full CAT recipe (session-cached)."""
+    nninit.seed(7)
+    model = vgg_micro(num_classes=tiny_dataset.num_classes, input_size=8)
+    result = train_cat(model, tiny_dataset, micro_cat_config)
+    return result
+
+
+@pytest.fixture(scope="session")
+def converted_micro(trained_micro, tiny_dataset, micro_cat_config):
+    """The trained micro model converted to a TTFS SNN."""
+    return convert(trained_micro.model, micro_cat_config,
+                   calibration=tiny_dataset.train_x[:32])
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,63 @@
+"""Fig. 6 reproduction: PE-array area/power savings of CAT and log PEs."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.hw import fig6_design_points, pe_array_report, proposed_config
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_design_points()
+
+
+class TestFig6Shape:
+    def test_area_strictly_decreases(self, fig6):
+        assert fig6.base.area_um2 > fig6.cat.area_um2 > fig6.cat_log.area_um2
+
+    def test_power_strictly_decreases(self, fig6):
+        assert fig6.base.power_mw > fig6.cat.power_mw > fig6.cat_log.power_mw
+
+    def test_step_i_bigger_than_step_ii(self, fig6):
+        """The paper's ordering: unifying kernels saves more than the log
+        PE swap (12.7 > 8.1 area, 14.7 > 8.6 power)."""
+        assert fig6.area_saving_cat > fig6.area_saving_log
+        assert fig6.power_saving_cat > fig6.power_saving_log
+
+
+class TestFig6Quantitative:
+    TOL = 0.025  # within 2.5 percentage points of the synthesis numbers
+
+    def test_area_saving_cat(self, fig6):
+        assert fig6.area_saving_cat == pytest.approx(
+            paper.FIG6["area_saving_cat"], abs=self.TOL)
+
+    def test_area_saving_log(self, fig6):
+        assert fig6.area_saving_log == pytest.approx(
+            paper.FIG6["area_saving_log"], abs=self.TOL)
+
+    def test_power_saving_cat(self, fig6):
+        assert fig6.power_saving_cat == pytest.approx(
+            paper.FIG6["power_saving_cat"], abs=self.TOL)
+
+    def test_power_saving_log(self, fig6):
+        assert fig6.power_saving_log == pytest.approx(
+            paper.FIG6["power_saving_log"], abs=self.TOL)
+
+
+class TestReportStructure:
+    def test_breakdown_keys(self):
+        rep = pe_array_report(proposed_config())
+        assert set(rep.area_breakdown) == {"pes", "decoder"}
+        assert set(rep.power_breakdown) == {"pes", "decoder", "leakage",
+                                            "clock"}
+
+    def test_normalized_series(self, fig6):
+        series = fig6.normalized_series()
+        assert series["area"]["Base"] == 1.0
+        assert series["area"]["I"] < 1.0
+        assert series["area"]["I+II"] < series["area"]["I"]
+        assert series["power"]["I+II"] < series["power"]["I"] < 1.0
+
+    def test_pes_dominate_area(self, fig6):
+        assert fig6.base.pe_area_um2 > fig6.base.decoder_area_um2

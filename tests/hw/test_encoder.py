@@ -1,0 +1,97 @@
+"""Spike encoder FSM (Sec. 4.1) against the analytical spike times."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cat import NO_SPIKE, Base2Kernel
+from repro.hw import HwConfig, SpikeEncoder
+
+
+@pytest.fixture()
+def encoder():
+    return SpikeEncoder(HwConfig(window=12, tau=2.0))
+
+
+class TestEncodeCorrectness:
+    def test_matches_kernel_spike_times(self, encoder):
+        k = Base2Kernel(tau=2.0)
+        vmems = np.array([1.0, 0.5, 0.3, 0.01, 0.0])
+        res = encoder.encode(vmems)
+        want = k.spike_time(vmems, window=12)
+        assert np.array_equal(res.spike_times, want)
+
+    def test_negative_vmem_clamped_silent(self, encoder):
+        res = encoder.encode(np.array([-0.5, -2.0]))
+        assert np.all(res.spike_times == NO_SPIKE)
+        assert res.num_spikes == 0
+
+    def test_events_time_ordered(self, encoder, rng):
+        vmems = rng.random(64)
+        res = encoder.encode(vmems)
+        times = [t for t, _ in res.events]
+        assert times == sorted(times)
+
+    def test_each_neuron_at_most_one_event(self, encoder, rng):
+        vmems = rng.random(32)
+        res = encoder.encode(vmems)
+        ids = [n for _, n in res.events]
+        assert len(ids) == len(set(ids))
+
+    def test_larger_vmem_earlier_spike(self, encoder):
+        res = encoder.encode(np.array([0.9, 0.3]))
+        assert res.spike_times[0] < res.spike_times[1]
+
+    def test_batch_limit(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(129))
+
+
+class TestEncodeCycles:
+    def test_early_exit_when_all_fire_fast(self, encoder):
+        """All Vmems >= theta0 drain at t=0: far fewer cycles than the
+        full window walk."""
+        res = encoder.encode(np.full(8, 2.0))
+        assert res.cycles < 8 + 12
+
+    def test_silent_batch_walks_whole_window(self, encoder):
+        res = encoder.encode(np.zeros(8))
+        assert res.cycles >= 1  # at least the load cycle
+        assert res.num_spikes == 0
+
+    def test_cycles_grow_with_spikes(self, encoder):
+        few = encoder.encode(np.array([0.5] + [0.0] * 7))
+        many = encoder.encode(np.full(8, 0.5))
+        assert many.cycles > few.cycles
+
+    def test_estimate_formula(self, encoder):
+        est = encoder.cycles_estimate(num_neurons=256, num_spikes=100)
+        # 2 batches of (window + 2) plus one cycle per spike
+        assert est == 2 * (12 + 2) + 100
+
+
+class TestCostHooks:
+    def test_area_positive(self, encoder):
+        assert encoder.area_um2() > 0
+
+    def test_energy_positive(self, encoder):
+        assert encoder.energy_pj_per_cycle() > 0
+
+    def test_threshold_lut_contents(self, encoder):
+        k = Base2Kernel(tau=2.0)
+        assert np.allclose(encoder.threshold_lut, k.threshold(np.arange(13)))
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 128),
+                  elements=st.floats(-1.5, 1.5)))
+@settings(max_examples=40, deadline=None)
+def test_encoder_always_matches_closed_form(vmems):
+    """Property: the FSM and Eq. 14 agree for any membrane batch."""
+    cfg = HwConfig(window=8, tau=2.0)
+    enc = SpikeEncoder(cfg)
+    k = Base2Kernel(tau=2.0)
+    res = enc.encode(vmems)
+    want = k.spike_time(np.maximum(vmems, 0.0), window=8)
+    assert np.array_equal(res.spike_times, want)

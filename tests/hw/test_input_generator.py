@@ -1,0 +1,77 @@
+"""Min-find merge-sort unit and input-buffer reuse accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cat import NO_SPIKE
+from repro.hw import HwConfig, InputGenerator, MinFindUnit
+from repro.snn import SpikeTrain
+
+
+class TestMinFind:
+    def test_merge_is_sorted(self):
+        unit = MinFindUnit(ways=4)
+        streams = [[(0, 1), (5, 2)], [(1, 3)], [(2, 0), (2, 9)], []]
+        res = unit.sort(streams)
+        assert res.events == sorted(res.events)
+        assert len(res.events) == 5
+
+    def test_cycles_one_per_event_plus_latency(self):
+        unit = MinFindUnit(ways=8)
+        streams = [[(i, i)] for i in range(8)]
+        res = unit.sort(streams)
+        assert res.cycles == 8 + 3  # tree depth log2(8)
+
+    def test_tree_depth(self):
+        assert MinFindUnit(ways=16).tree_depth == 4
+        assert MinFindUnit(ways=2).tree_depth == 1
+
+    def test_min_ways(self):
+        with pytest.raises(ValueError):
+            MinFindUnit(ways=1)
+
+    def test_sort_train_matches_spiketrain_order(self):
+        times = np.array([3, 0, NO_SPIKE, 1, 0])
+        train = SpikeTrain(times, window=4)
+        unit = MinFindUnit(ways=4)
+        res = unit.sort_train(train)
+        assert res.events == list(train.sorted_events())
+
+
+class TestInputBuffer:
+    def test_capacity_from_48kb(self):
+        gen = InputGenerator(HwConfig())
+        bits = 48 * 1024 * 8
+        assert gen.capacity_spikes == bits // gen.spike_record_bits
+
+    def test_fitting_layer_read_once(self):
+        gen = InputGenerator(HwConfig())
+        assert gen.dram_reads_per_spike(100, output_tiles=50) == 1.0
+
+    def test_conv_overflow_pays_halo(self):
+        gen = InputGenerator(HwConfig())
+        over = gen.capacity_spikes * 2
+        assert gen.dram_reads_per_spike(over, 100, spatial=True) == \
+            InputGenerator.CONV_HALO_FACTOR
+
+    def test_fc_overflow_scales_with_tiles(self):
+        gen = InputGenerator(HwConfig())
+        over = gen.capacity_spikes * 2
+        reads = gen.dram_reads_per_spike(over, 10, spatial=False)
+        assert 1.0 < reads <= 10
+
+    def test_smaller_buffer_less_reuse(self):
+        big = InputGenerator(HwConfig())
+        small = InputGenerator(HwConfig().with_(input_buffer_kb=1.0))
+        n = big.capacity_spikes  # fits in big, not in small
+        assert small.dram_reads_per_spike(n, 8, spatial=False) > \
+            big.dram_reads_per_spike(n, 8, spatial=False)
+
+    def test_sort_cycles(self):
+        gen = InputGenerator(HwConfig())
+        assert gen.sort_cycles(1000) == 1000 + gen.minfind.tree_depth
+
+    def test_costs_positive(self):
+        gen = InputGenerator(HwConfig())
+        assert gen.area_um2() > 0
+        assert gen.energy_pj_per_spike() > 0

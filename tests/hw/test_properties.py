@@ -1,0 +1,86 @@
+"""Hypothesis property tests on the hardware models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    HwConfig,
+    MEASURED_VGG_PROFILE,
+    SNNProcessor,
+    SpikeEncoder,
+    uniform_profile,
+    vgg16_geometry,
+)
+
+
+@given(st.integers(1, 128), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_encoder_event_count_equals_spike_count(n, seed):
+    """Every neuron above the final threshold produces exactly one event."""
+    rng = np.random.default_rng(seed)
+    enc = SpikeEncoder(HwConfig(window=8, tau=2.0))
+    vmems = rng.uniform(-1, 1.5, n)
+    res = enc.encode(vmems)
+    min_thresh = enc.threshold_lut[-1]
+    expected = int((np.maximum(vmems, 0.0) >= min_thresh - 1e-9).sum())
+    assert res.num_spikes == expected
+    assert len(res.events) == res.num_spikes
+
+
+@given(st.sampled_from([64, 128, 256, 512]))
+@settings(max_examples=8, deadline=None)
+def test_more_pes_never_slower(num_pes):
+    """Scaling the PE array up cannot increase the cycle count."""
+    geo = vgg16_geometry(32, 10)
+    base = SNNProcessor(HwConfig()).run(geo, MEASURED_VGG_PROFILE)
+    scaled = SNNProcessor(HwConfig(num_pes=num_pes, pe_groups=4)).run(
+        geo, MEASURED_VGG_PROFILE)
+    if num_pes >= 128:
+        assert scaled.total_cycles <= base.total_cycles
+    else:
+        assert scaled.total_cycles >= base.total_cycles
+
+
+@given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+@settings(max_examples=20, deadline=None)
+def test_processor_cycles_monotone_in_rate(r1, r2):
+    """Higher firing rates can never make inference faster."""
+    lo, hi = sorted((r1, r2))
+    geo = vgg16_geometry(32, 10)
+    proc = SNNProcessor()
+    rep_lo = proc.run(geo, uniform_profile(lo, 16))
+    rep_hi = proc.run(geo, uniform_profile(hi, 16))
+    assert rep_hi.total_cycles >= rep_lo.total_cycles
+
+
+@given(st.sampled_from([100e6, 250e6, 500e6]))
+@settings(max_examples=6, deadline=None)
+def test_fps_scales_with_frequency(freq):
+    geo = vgg16_geometry(32, 10)
+    rep = SNNProcessor(HwConfig(frequency_hz=freq)).run(
+        geo, MEASURED_VGG_PROFILE)
+    base = SNNProcessor(HwConfig(frequency_hz=250e6)).run(
+        geo, MEASURED_VGG_PROFILE)
+    assert np.isclose(rep.fps / base.fps, freq / 250e6, rtol=1e-6)
+
+
+@given(st.integers(6, 48))
+@settings(max_examples=15, deadline=None)
+def test_encoder_estimate_dominated_by_window_and_spikes(window):
+    enc = SpikeEncoder(HwConfig(window=window, tau=4.0))
+    est = enc.cycles_estimate(num_neurons=128, num_spikes=50)
+    assert est == (window + 2) + 50
+
+
+@given(st.floats(1.0, 200.0))
+@settings(max_examples=20, deadline=None)
+def test_bigger_buffers_never_increase_traffic(buffer_kb):
+    """Input-buffer capacity monotonicity (the 48 KB design argument)."""
+    from repro.hw import InputGenerator
+
+    small = InputGenerator(HwConfig(input_buffer_kb=buffer_kb))
+    big = InputGenerator(HwConfig(input_buffer_kb=buffer_kb * 2))
+    spikes = int(small.capacity_spikes * 1.5)
+    assert (big.dram_reads_per_spike(spikes, 16, spatial=False)
+            <= small.dram_reads_per_spike(spikes, 16, spatial=False))

@@ -1,0 +1,126 @@
+"""End-to-end pipeline integration: train -> convert -> simulate ->
+quantise -> processor model, plus the Table 1 / Table 2 orderings at
+micro scale."""
+
+import numpy as np
+import pytest
+
+from repro.cat import CATConfig, conversion_loss, convert, evaluate, train_cat
+from repro.data import make_dataset
+from repro.hw import (
+    MEASURED_VGG_PROFILE,
+    SNNProcessor,
+    geometry_from_converted,
+    uniform_profile,
+)
+from repro.nn import init as nninit, vgg_micro
+from repro.quant import LogQuantConfig, quantize_snn
+from repro.snn import EventDrivenTTFSNetwork, T2FSNNConfig, convert_t2fsnn
+
+
+@pytest.fixture(scope="module")
+def harder_dataset():
+    """Noisy 6-class problem so conversion losses are visible."""
+    return make_dataset(6, 8, train_per_class=30, test_per_class=20,
+                        seed=77, noise_std=0.75)
+
+
+def train_method(dataset, method, window=6, tau=1.0, seed=5):
+    nninit.seed(seed)
+    model = vgg_micro(num_classes=dataset.num_classes, input_size=8)
+    cfg = CATConfig(window=window, tau=tau, method=method, epochs=8,
+                    relu_epochs=1, ttfs_epoch=6, lr=0.05,
+                    milestones=(4, 5, 6), batch_size=32, augment=False)
+    train_cat(model, dataset, cfg)
+    return model, cfg
+
+
+class TestTable1Ordering:
+    """Conversion loss shrinks monotonically I -> I+II -> I+II+III."""
+
+    @pytest.fixture(scope="class")
+    def losses(self, harder_dataset):
+        out = {}
+        for method in ("I", "I+II", "I+II+III"):
+            model, cfg = train_method(harder_dataset, method)
+            ann = evaluate(model, harder_dataset.test_x, harder_dataset.test_y)
+            snn = convert(model, cfg).accuracy(harder_dataset.test_x,
+                                               harder_dataset.test_y)
+            out[method] = conversion_loss(ann, snn)
+        return out
+
+    def test_method_i_has_visible_loss(self, losses):
+        assert losses["I"] < -0.01
+
+    def test_full_method_is_near_lossless(self, losses):
+        assert abs(losses["I+II+III"]) < 0.02
+
+    def test_monotone_improvement(self, losses):
+        assert losses["I"] <= losses["I+II"] + 0.02
+        assert losses["I+II"] <= losses["I+II+III"] + 0.02
+
+
+class TestSmallerWindowLargerLoss:
+    def test_window_sweep(self, harder_dataset):
+        """Table 1's second axis: loss grows as T/tau shrink (method I)."""
+        losses = {}
+        for window, tau in ((16, 4.0), (4, 1.0)):  # coarse grid hurts more
+            model, cfg = train_method(harder_dataset, "I", window=window,
+                                      tau=tau)
+            ann = evaluate(model, harder_dataset.test_x,
+                           harder_dataset.test_y)
+            snn = convert(model, cfg).accuracy(harder_dataset.test_x,
+                                               harder_dataset.test_y)
+            losses[window] = conversion_loss(ann, snn)
+        assert losses[4] < losses[16] + 0.01
+
+
+class TestTable2Comparison:
+    def test_cat_beats_t2fsnn_at_matched_params(self, harder_dataset):
+        cat_model, cat_cfg = train_method(harder_dataset, "I+II+III",
+                                          window=12, tau=2.0)
+        cat_acc = convert(cat_model, cat_cfg).accuracy(
+            harder_dataset.test_x, harder_dataset.test_y)
+
+        relu_model, _ = train_method(harder_dataset, "I", window=12, tau=2.0)
+        t2 = convert_t2fsnn(relu_model,
+                            T2FSNNConfig(window=12, tau=2.0,
+                                         optimizer_iters=25),
+                            harder_dataset.train_x[:48])
+        t2_acc = t2.accuracy(harder_dataset.test_x, harder_dataset.test_y)
+        assert cat_acc >= t2_acc - 0.02
+
+    def test_latency_crossover(self, converted_micro):
+        """Ours at T=24 (408) beats early-firing T2FSNN at T=80 (680)."""
+        from repro.analysis import latency_timesteps
+
+        ours = latency_timesteps(16, 24)
+        baseline = latency_timesteps(16, 80, early_firing=True)
+        assert ours < baseline
+
+
+class TestFullPipeline:
+    def test_quantized_event_driven_processor_chain(self, converted_micro,
+                                                    tiny_dataset):
+        # Quantise weights to the paper's 5-bit log format...
+        qsnn, _ = quantize_snn(converted_micro, LogQuantConfig(bits=5, z_w=1))
+        # ...simulate it event-driven...
+        net = EventDrivenTTFSNetwork(qsnn)
+        res = net.run(tiny_dataset.test_x[:8])
+        acc = (res.predictions() == tiny_dataset.test_y[:8]).mean()
+        assert acc >= 0.5
+        # ...and feed its measured firing rates into the processor model.
+        rates = [t.output_spikes / t.neurons for t in res.traces[1:-1]]
+        geo = geometry_from_converted(qsnn, tiny_dataset.test_x[:1].shape)
+        profile = uniform_profile(float(np.mean(rates)),
+                                  geo.num_weight_layers)
+        report = SNNProcessor().run(geo, profile)
+        assert report.fps > 0
+        assert report.energy_per_image_uj > 0
+
+    def test_quantization_accuracy_cost_small_at_5bits(self, converted_micro,
+                                                       tiny_dataset):
+        fp = converted_micro.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        q5, _ = quantize_snn(converted_micro, LogQuantConfig(bits=5, z_w=1))
+        q5_acc = q5.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert q5_acc >= fp - 0.15

@@ -1,0 +1,150 @@
+"""Individual layer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ActivationSlot,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        assert Linear(8, 3)(Tensor(np.zeros((5, 8)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_is_affine(self, rng):
+        layer = Linear(4, 2)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        want = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, want, atol=1e-5)
+
+
+class TestConv2dLayer:
+    def test_shape_with_padding(self):
+        layer = Conv2d(3, 8, 3, padding=1)
+        assert layer(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 8, 16, 16)
+
+    def test_stride_halves(self):
+        layer = Conv2d(1, 1, 3, stride=2, padding=1)
+        assert layer(Tensor(np.zeros((1, 1, 8, 8)))).shape == (1, 1, 4, 4)
+
+    def test_bias_flag(self):
+        assert Conv2d(1, 1, 3, bias=False).bias is None
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 2
+        out = bn(Tensor(x)).data
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.1
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = rng.standard_normal((16, 2, 4, 4)).astype(np.float32) + 5.0
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.standard_normal((8, 2, 4, 4)).astype(np.float32)
+        for _ in range(20):
+            bn(Tensor(x))
+        bn.eval()
+        out_eval = bn(Tensor(x)).data
+        bn.train()
+        out_train = bn(Tensor(x)).data
+        assert np.allclose(out_eval, out_train, atol=0.2)
+
+    def test_affine_params_trainable(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((4, 3, 2, 2)).astype(np.float32))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestPoolingLayers:
+    def test_maxpool_module(self):
+        out = MaxPool2d(2)(Tensor(np.arange(16.0).reshape(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_avgpool_module(self):
+        out = AvgPool2d(2)(Tensor(np.ones((1, 1, 4, 4))))
+        assert np.allclose(out.data, 1.0)
+
+    def test_custom_stride(self):
+        out = MaxPool2d(2, stride=1)(Tensor(np.zeros((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 3, 3)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = Dropout(0.5)
+        d.eval()
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        assert np.allclose(d(Tensor(x)).data, x)
+
+    def test_train_zeroes_and_scales(self):
+        d = Dropout(0.5, rng_seed=0)
+        x = Tensor(np.ones((100, 100)))
+        out = d(x).data
+        zero_frac = (out == 0).mean()
+        assert 0.4 < zero_frac < 0.6
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_p_zero_identity_in_train(self):
+        d = Dropout(0.0)
+        x = np.ones((3, 3), dtype=np.float32)
+        assert np.allclose(d(Tensor(x)).data, x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMisc:
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        assert np.allclose(out.data, [0, 1])
+
+
+class TestActivationSlot:
+    def test_default_is_relu(self):
+        slot = ActivationSlot()
+        out = slot(Tensor(np.array([-2.0, 2.0])))
+        assert np.allclose(out.data, [0, 2])
+
+    def test_swap(self):
+        slot = ActivationSlot()
+        slot.set_fn(lambda t: t * 2.0, "double")
+        assert slot.fn_name == "double"
+        assert np.allclose(slot(Tensor(np.ones(2))).data, 2.0)
+
+    def test_repr_shows_name(self):
+        slot = ActivationSlot(name="custom", fn=lambda t: t)
+        assert "custom" in repr(slot)

@@ -1,0 +1,107 @@
+"""Module base class: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3)
+        self.fc2 = Linear(3, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        m = Toy()
+        names = [n for n, _ in m.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+
+    def test_parameter_count(self):
+        m = Toy()
+        total = sum(p.size for p in m.parameters())
+        assert total == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_named_modules_includes_self(self):
+        m = Toy()
+        mods = dict(m.named_modules())
+        assert "" in mods and "fc1" in mods
+
+    def test_buffers_registered(self):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4)))
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    def test_missing_key_raises(self):
+        m = Toy()
+        state = m.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        m = Toy()
+        state = m.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.allclose(m.fc1.weight.data, 99.0)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        m = Toy()
+        x = Tensor(np.ones((1, 4)))
+        m(x).sum().backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestSequential:
+    def test_order_and_index(self):
+        s = Sequential(Linear(2, 3), Linear(3, 4))
+        assert s[0].out_features == 3
+        assert len(s) == 2
+
+    def test_append(self):
+        s = Sequential(Linear(2, 3))
+        s.append(Linear(3, 1))
+        assert len(s) == 2
+        assert s[1].out_features == 1
+
+    def test_forward_composes(self):
+        s = Sequential(Linear(2, 3), Linear(3, 1))
+        out = s(Tensor(np.zeros((5, 2))))
+        assert out.shape == (5, 1)
+
+    def test_iteration(self):
+        mods = [Linear(2, 2), Linear(2, 2)]
+        s = Sequential(*mods)
+        assert list(s) == mods
+
+    def test_forward_raises_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

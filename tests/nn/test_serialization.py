@@ -1,0 +1,82 @@
+"""Model and ConvertedSNN persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import vgg_micro
+from repro.nn.serialization import (
+    load_converted,
+    load_model,
+    save_converted,
+    save_model,
+)
+from repro.tensor import Tensor
+
+
+class TestModelRoundtrip:
+    def test_weights_restored(self, tmp_path, rng):
+        m1 = vgg_micro(num_classes=4, input_size=8)
+        path = tmp_path / "model.npz"
+        save_model(m1, path, epochs=5)
+        m2 = vgg_micro(num_classes=4, input_size=8)
+        meta = load_model(m2, path)
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        m1.eval(), m2.eval()
+        assert np.allclose(m1(x).data, m2(x).data)
+        assert meta == {"epochs": 5}
+
+    def test_bn_buffers_restored(self, tmp_path):
+        from repro.nn import BatchNorm2d
+
+        m1 = vgg_micro()
+        bn = next(m for m in m1.modules() if isinstance(m, BatchNorm2d))
+        bn.running_mean = np.full_like(bn.running_mean, 3.0)
+        bn._buffers["running_mean"] = bn.running_mean
+        path = tmp_path / "m.npz"
+        save_model(m1, path)
+        m2 = vgg_micro()
+        load_model(m2, path)
+        bn2 = next(m for m in m2.modules() if isinstance(m, BatchNorm2d))
+        assert np.allclose(bn2.running_mean, 3.0)
+
+    def test_no_metadata(self, tmp_path):
+        m = vgg_micro()
+        path = tmp_path / "m.npz"
+        save_model(m, path)
+        assert load_model(vgg_micro(), path) == {}
+
+
+class TestConvertedRoundtrip:
+    def test_forward_identical(self, tmp_path, converted_micro,
+                               tiny_dataset):
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)
+        restored = load_converted(path)
+        x = tiny_dataset.test_x[:8]
+        assert np.allclose(restored.forward_value(x),
+                           converted_micro.forward_value(x))
+
+    def test_config_and_scale_restored(self, tmp_path, converted_micro):
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)
+        restored = load_converted(path)
+        assert restored.config == converted_micro.config
+        assert restored.output_scale == converted_micro.output_scale
+
+    def test_structure_restored(self, tmp_path, converted_micro):
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)
+        restored = load_converted(path)
+        kinds = [s.kind for s in restored.layers]
+        assert kinds == [s.kind for s in converted_micro.layers]
+        assert restored.layers[-1].is_output
+
+    def test_simulatable_after_reload(self, tmp_path, converted_micro,
+                                      tiny_dataset):
+        from repro.snn import EventDrivenTTFSNetwork
+
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)
+        restored = load_converted(path)
+        res = EventDrivenTTFSNetwork(restored).run(tiny_dataset.test_x[:4])
+        assert res.total_spikes > 0

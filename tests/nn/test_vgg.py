@@ -1,0 +1,91 @@
+"""VGG builders and activation-slot plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cat import TTFSActivation
+from repro.nn import VGG, vgg16, vgg7, vgg9, vgg_micro
+from repro.tensor import Tensor
+
+
+class TestBuilders:
+    def test_vgg16_weight_layer_count(self):
+        model = vgg16(num_classes=10)
+        assert model.num_weight_layers == 16  # 13 conv + 3 FC
+
+    def test_vgg16_pipeline_stages(self):
+        model = vgg16(num_classes=10)
+        assert model.num_pipeline_stages == 17  # Table 2: 17 * T latency
+
+    def test_vgg9_counts(self):
+        model = vgg9(num_classes=10)
+        assert model.num_weight_layers == 8
+
+    def test_vgg7_counts(self):
+        model = vgg7(num_classes=10)
+        assert model.num_weight_layers == 5
+
+    def test_micro_forward_shape(self):
+        model = vgg_micro(num_classes=4, input_size=8)
+        out = model(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+
+    def test_vgg7_forward_shape(self):
+        model = vgg7(num_classes=6, input_size=16)
+        out = model(Tensor(np.zeros((1, 3, 16, 16))))
+        assert out.shape == (1, 6)
+
+    @pytest.mark.slow
+    def test_vgg16_forward_shape(self):
+        model = vgg16(num_classes=10, input_size=32)
+        out = model(Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32)))
+        assert out.shape == (1, 10)
+
+    def test_custom_features(self):
+        model = VGG((4, "M", 8), num_classes=2, input_size=8)
+        out = model(Tensor(np.zeros((1, 3, 8, 8))))
+        assert out.shape == (1, 2)
+
+
+class TestActivationPlumbing:
+    def test_slot_count_matches_hidden_layers(self):
+        model = vgg9(num_classes=10)
+        # every hidden weight layer has a slot; output layer has none
+        assert len(model.activation_slots()) == model.num_weight_layers - 1
+
+    def test_input_slot_excluded_by_default(self):
+        model = vgg_micro()
+        slots = model.activation_slots()
+        assert model.input_slot not in slots
+        assert model.input_slot in model.activation_slots(include_input=True)
+
+    def test_set_hidden_activation(self):
+        model = vgg_micro()
+        act = TTFSActivation(window=8, tau=2.0)
+        model.set_hidden_activation(act, "ttfs")
+        assert all(s.fn_name == "ttfs" for s in model.activation_slots())
+        assert model.input_slot.fn_name == "identity"
+
+    def test_set_input_encoding(self):
+        model = vgg_micro()
+        act = TTFSActivation(window=8, tau=2.0)
+        model.set_input_encoding(act, "ttfs-input")
+        assert model.input_slot.fn_name == "ttfs-input"
+
+    def test_ttfs_input_quantises_forward(self):
+        model = vgg_micro(num_classes=4, input_size=8)
+        act = TTFSActivation(window=8, tau=2.0)
+        x = np.full((1, 3, 8, 8), 0.3, dtype=np.float32)
+        model.eval()
+        out_plain = model(Tensor(x)).data
+        model.set_input_encoding(act, "ttfs-input")
+        out_encoded = model(Tensor(x)).data
+        assert not np.allclose(out_plain, out_encoded)
+
+
+class TestDropoutVariant:
+    def test_dropout_layers_present(self):
+        model = vgg9(num_classes=10, dropout=0.5)
+        from repro.nn import Dropout
+
+        assert any(isinstance(m, Dropout) for m in model.classifier)

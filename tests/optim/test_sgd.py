@@ -1,0 +1,122 @@
+"""SGD + momentum + weight decay, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, ConstantLR, MultiStepLR
+from repro.tensor import Tensor
+
+
+class TestSGDMath:
+    def test_single_step_matches_closed_form(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9, weight_decay=0.0)
+        p.grad = np.array([2.0], dtype=np.float32)
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.1 * 2.0)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.5, weight_decay=0.0)
+        for _ in range(2):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        # v1 = 1 -> w = -1; v2 = 0.5 + 1 = 1.5 -> w = -2.5
+        assert np.isclose(p.data[0], -2.5)
+
+    def test_weight_decay_added_to_grad(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert np.isclose(p.data[0], 10.0 - 0.1 * (0.1 * 10.0))
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set
+        assert p.data[0] == 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_state_dict_roundtrip(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([p], lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        assert np.allclose(opt2._velocity[0], opt._velocity[0])
+
+
+class TestConvergence:
+    def test_quadratic_minimum(self):
+        """SGD should find the minimum of (w - 3)^2."""
+        w = Parameter(np.array([0.0]))
+        opt = SGD([w], lr=0.1, momentum=0.0, weight_decay=0.0)
+        for _ in range(100):
+            loss = ((Tensor(w.data) * 0 + w - 3.0) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(w.data[0] - 3.0) < 1e-3
+
+    def test_linear_regression(self, rng):
+        x = rng.standard_normal((64, 3)).astype(np.float32)
+        true_w = np.array([[1.0, -2.0, 0.5]], dtype=np.float32)
+        y = x @ true_w.T
+        layer = Linear(3, 1)
+        opt = SGD(layer.parameters(), lr=0.1, momentum=0.9, weight_decay=0.0)
+        for _ in range(200):
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestSchedules:
+    def test_multistep_milestones(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        sched = MultiStepLR(opt, milestones=(2, 4), gamma=0.1)
+        lrs = [sched.step(e) for e in range(6)]
+        assert np.allclose(lrs, [0.1, 0.1, 0.01, 0.01, 0.001, 0.001])
+
+    def test_paper_schedule_shape(self):
+        """LR 0.1 / 10 at 80, 120, 160 -> 1e-4 from epoch 160 on."""
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        sched = MultiStepLR(opt, milestones=(80, 120, 160))
+        assert np.isclose(sched.lr_at(0), 0.1)
+        assert np.isclose(sched.lr_at(100), 0.01)
+        assert np.isclose(sched.lr_at(159), 0.001)
+        assert np.isclose(sched.lr_at(170), 1e-4)
+
+    def test_step_without_epoch_advances(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=1.0)
+        sched = MultiStepLR(opt, milestones=(1,))
+        sched.step()
+        assert sched.last_epoch == 0
+        sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_constant_lr(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.3)
+        sched = ConstantLR(opt)
+        assert sched.step(10) == 0.3

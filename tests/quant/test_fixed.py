@@ -1,0 +1,40 @@
+"""Fixed-point helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import from_fixed, quantization_snr_db, saturate, to_fixed
+
+
+class TestRoundtrip:
+    def test_exact_on_grid(self):
+        x = np.array([0.5, -0.25, 1.75])
+        assert np.allclose(from_fixed(to_fixed(x, 8), 8), x)
+
+    def test_rounding(self):
+        x = np.array([0.3])
+        got = from_fixed(to_fixed(x, 4), 4)
+        assert abs(got[0] - 0.3) <= 0.5 / 16
+
+    def test_saturate_bounds(self):
+        codes = np.array([-200, -128, 0, 127, 300])
+        out = saturate(codes, 8)
+        assert out.tolist() == [-128, -128, 0, 127, 127]
+
+    def test_snr_improves_with_bits(self, rng):
+        x = rng.standard_normal(1000)
+        assert quantization_snr_db(x, 12) > quantization_snr_db(x, 6)
+
+    def test_snr_infinite_for_exact(self):
+        x = np.array([0.5, 0.25])
+        assert quantization_snr_db(x, 8) == float("inf")
+
+
+@given(st.integers(2, 16))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_error_bounded(frac_bits):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(100)
+    err = np.abs(from_fixed(to_fixed(x, frac_bits), frac_bits) - x)
+    assert np.all(err <= 0.5 / (1 << frac_bits) + 1e-12)

@@ -1,0 +1,158 @@
+"""Logarithmic quantiser (Eq. 15) semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    LogQuantConfig,
+    quantization_error,
+    quantize_dequantize,
+    quantize_tensor,
+)
+
+
+class TestConfig:
+    def test_step_from_z(self):
+        assert LogQuantConfig(bits=5, z_w=0).step == 1.0
+        assert LogQuantConfig(bits=5, z_w=1).step == 0.5
+        assert LogQuantConfig(bits=5, z_w=2).step == 0.25
+
+    def test_num_levels(self):
+        assert LogQuantConfig(bits=5).num_levels == 15
+        assert LogQuantConfig(bits=4).num_levels == 7
+        assert LogQuantConfig(bits=8).num_levels == 127
+
+    def test_describe(self):
+        assert "a_w=2," in LogQuantConfig(bits=5, z_w=0).describe()
+        assert "2^-1/2" in LogQuantConfig(bits=5, z_w=1).describe()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LogQuantConfig(bits=1)
+
+    def test_invalid_z(self):
+        with pytest.raises(ValueError):
+            LogQuantConfig(z_w=-1)
+
+    def test_dynamic_range_grows_with_bits(self):
+        r5 = LogQuantConfig(bits=5, z_w=1).dynamic_range_log2
+        r8 = LogQuantConfig(bits=8, z_w=1).dynamic_range_log2
+        assert r8 > r5
+
+
+class TestQuantize:
+    def test_fsr_is_max_abs(self, rng):
+        w = rng.standard_normal(100)
+        qt = quantize_tensor(w, LogQuantConfig())
+        assert np.isclose(qt.fsr, np.abs(w).max())
+
+    def test_max_weight_is_exact(self):
+        w = np.array([0.5, -0.25, 0.125])
+        qt = quantize_tensor(w, LogQuantConfig(bits=5, z_w=0))
+        assert np.isclose(qt.values[0], 0.5)
+
+    def test_power_of_two_grid_exact_for_z0(self):
+        """Powers of two within range are representable exactly at a_w=2."""
+        w = np.array([1.0, 0.5, 0.25, 0.125, -0.5])
+        qt = quantize_tensor(w, LogQuantConfig(bits=5, z_w=0))
+        assert np.allclose(qt.values, w)
+
+    def test_signs_preserved(self, rng):
+        w = rng.standard_normal(200)
+        qt = quantize_tensor(w, LogQuantConfig())
+        nz = qt.values != 0
+        assert np.all(np.sign(qt.values[nz]) == np.sign(w[nz]))
+
+    def test_small_values_flush_to_zero(self):
+        cfg = LogQuantConfig(bits=4, z_w=0)  # 7 levels, range 2^-6
+        w = np.array([1.0, 1e-6])
+        qt = quantize_tensor(w, cfg)
+        assert qt.values[1] == 0.0
+        assert qt.codes[1] == -1
+
+    def test_all_zero_tensor(self):
+        qt = quantize_tensor(np.zeros(5), LogQuantConfig())
+        assert np.all(qt.values == 0)
+        assert qt.fsr == 0.0
+
+    def test_codes_within_range(self, rng):
+        cfg = LogQuantConfig(bits=5, z_w=1)
+        qt = quantize_tensor(rng.standard_normal(500), cfg)
+        valid = (qt.codes == -1) | ((qt.codes >= 0)
+                                    & (qt.codes < cfg.num_levels))
+        assert np.all(valid)
+
+    def test_log2_magnitudes_on_grid(self, rng):
+        cfg = LogQuantConfig(bits=5, z_w=1)
+        qt = quantize_tensor(rng.standard_normal(100), cfg)
+        nz = qt.codes >= 0
+        rel = (np.log2(qt.fsr) - qt.log2_magnitudes[nz]) / cfg.step
+        assert np.allclose(rel, np.round(rel))
+
+
+class TestErrorBehaviour:
+    def test_error_shrinks_with_bits(self, rng):
+        w = rng.standard_normal(2000) * 0.3
+        errs = [quantization_error(w, LogQuantConfig(bits=b, z_w=1))
+                for b in (4, 5, 6, 8)]
+        assert errs[0] >= errs[1] >= errs[2] >= errs[3]
+
+    def test_paper_base_selection_at_5_bits(self, rng):
+        """Fig. 4: a_w = 2^-1/2 beats a_w = 2 at 5 bits for Gaussian-ish
+        weights (finer steps near FSR matter more than dynamic range)."""
+        w = rng.standard_normal(5000) * 0.2
+        err_z0 = quantization_error(w, LogQuantConfig(bits=5, z_w=0))
+        err_z1 = quantization_error(w, LogQuantConfig(bits=5, z_w=1))
+        assert err_z1 < err_z0
+
+    def test_idempotent(self, rng):
+        cfg = LogQuantConfig(bits=5, z_w=1)
+        w = rng.standard_normal(300)
+        once = quantize_dequantize(w, cfg)
+        twice = quantize_dequantize(once, cfg)
+        assert np.allclose(once, twice)
+
+
+@given(st.integers(2, 8), st.integers(0, 2), st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_quantized_magnitudes_bounded_by_fsr(bits, z_w, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal(64)
+    qt = quantize_tensor(w, LogQuantConfig(bits=bits, z_w=z_w))
+    assert np.all(np.abs(qt.values) <= qt.fsr * (1 + 1e-9))
+
+
+@given(st.floats(0.01, 10.0), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_relative_error_bounded_by_half_step(scale, z_w):
+    """Non-flushed weights have log2 error <= step/2."""
+    cfg = LogQuantConfig(bits=8, z_w=z_w)
+    rng = np.random.default_rng(0)
+    w = rng.random(100) * scale + scale * 0.01
+    qt = quantize_tensor(w, cfg)
+    nz = qt.codes >= 0
+    err_log2 = np.abs(np.log2(np.abs(qt.values[nz])) - np.log2(w[nz]))
+    assert np.all(err_log2 <= cfg.step / 2 + 1e-9)
+
+
+class TestAlignedFSR:
+    def test_aligned_fsr_on_grid(self, rng):
+        cfg = LogQuantConfig(bits=5, z_w=1, align_fsr=True)
+        qt = quantize_tensor(rng.standard_normal(100) * 0.3, cfg)
+        pos = np.log2(qt.fsr) / cfg.step
+        assert np.isclose(pos, round(pos))
+
+    def test_aligned_fsr_covers_max(self, rng):
+        w = rng.standard_normal(100)
+        cfg = LogQuantConfig(bits=5, z_w=2, align_fsr=True)
+        qt = quantize_tensor(w, cfg)
+        assert qt.fsr >= np.abs(w).max() - 1e-12
+
+    def test_aligned_log2_magnitudes_exact_grid(self, rng):
+        """With aligned FSR the PE sees exactly grid-aligned operands."""
+        cfg = LogQuantConfig(bits=6, z_w=1, align_fsr=True)
+        qt = quantize_tensor(rng.standard_normal(200) * 0.2, cfg)
+        mags = qt.log2_magnitudes[qt.codes >= 0] / cfg.step
+        assert np.allclose(mags, np.round(mags), atol=1e-9)

@@ -1,0 +1,127 @@
+"""Weight quantisation-aware training (the paper's Sec. 5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, vgg_micro
+from repro.quant import (
+    LogQuantConfig,
+    disable_weight_qat,
+    enable_weight_qat,
+    fake_quantize,
+    qat_finetune,
+    quantize_dequantize,
+)
+from repro.tensor import Tensor
+
+
+class TestFakeQuantize:
+    def test_forward_is_ptq(self, rng):
+        cfg = LogQuantConfig(bits=5, z_w=1)
+        w = Tensor(rng.standard_normal(50).astype(np.float32),
+                   requires_grad=True)
+        out = fake_quantize(w, cfg)
+        assert np.allclose(out.data, quantize_dequantize(w.data, cfg))
+
+    def test_backward_is_identity(self, rng):
+        cfg = LogQuantConfig(bits=4, z_w=0)
+        w = Tensor(rng.standard_normal(20).astype(np.float32),
+                   requires_grad=True)
+        fake_quantize(w, cfg).sum().backward()
+        assert np.allclose(w.grad, 1.0)
+
+    def test_gradient_flows_through_flushed_weights(self):
+        cfg = LogQuantConfig(bits=3, z_w=0)
+        w = Tensor(np.array([1.0, 1e-8]), requires_grad=True)
+        out = fake_quantize(w, cfg)
+        assert out.data[1] == 0.0  # flushed
+        out.sum().backward()
+        assert w.grad[1] == 1.0  # but still trainable
+
+
+class TestEnableDisable:
+    def test_wraps_all_weight_layers(self):
+        model = vgg_micro()
+        wrapped = enable_weight_qat(model, LogQuantConfig(bits=5))
+        expected = sum(1 for m in model.modules()
+                       if isinstance(m, (Conv2d, Linear)))
+        assert len(wrapped) == expected
+        disable_weight_qat(model)
+
+    def test_forward_changes_under_qat(self, rng):
+        model = vgg_micro(num_classes=4, input_size=8)
+        model.eval()
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        plain = model(x).data.copy()
+        enable_weight_qat(model, LogQuantConfig(bits=3, z_w=0))
+        quantised = model(x).data.copy()
+        disable_weight_qat(model)
+        restored = model(x).data
+        assert not np.allclose(plain, quantised)
+        assert np.allclose(plain, restored)
+
+    def test_reenable_updates_config(self):
+        model = vgg_micro()
+        enable_weight_qat(model, LogQuantConfig(bits=5))
+        enable_weight_qat(model, LogQuantConfig(bits=3))
+        conv = next(m for m in model.modules() if isinstance(m, Conv2d))
+        assert conv._qat_hook.config.bits == 3
+        disable_weight_qat(model)
+
+    def test_weights_stay_float_masters(self, rng):
+        """QAT trains the float master copy; the stored weights are not
+        themselves quantised."""
+        model = vgg_micro()
+        conv = next(m for m in model.modules() if isinstance(m, Conv2d))
+        before = conv.weight.data.copy()
+        enable_weight_qat(model, LogQuantConfig(bits=3, z_w=0))
+        model(Tensor(rng.random((1, 3, 8, 8)).astype(np.float32)))
+        assert np.array_equal(conv.weight.data, before)
+        disable_weight_qat(model)
+
+
+class TestFinetune:
+    def test_qat_recovers_low_bit_accuracy(self, trained_micro, tiny_dataset,
+                                           micro_cat_config):
+        """PTQ at 3 bits loses accuracy; a short QAT fine-tune recovers a
+        large part of it — the paper's Sec. 5 claim."""
+        import copy
+
+        from repro.cat import convert
+        from repro.quant import quantize_snn
+
+        qcfg = LogQuantConfig(bits=3, z_w=0)
+        model = copy.deepcopy(trained_micro.model)
+
+        snn = convert(model, micro_cat_config)
+        fp_acc = snn.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        ptq, _ = quantize_snn(snn, qcfg)
+        ptq_acc = ptq.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+
+        qat_finetune(model, tiny_dataset, qcfg,
+                     cat_config=micro_cat_config, epochs=3, lr=2e-3)
+        qat_snn, _ = quantize_snn(convert(model, micro_cat_config), qcfg)
+        qat_acc = qat_snn.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+
+        assert qat_acc >= ptq_acc - 0.02
+        assert qat_acc >= fp_acc - 0.25
+
+    def test_finetune_returns_losses(self, tiny_dataset, trained_micro,
+                                     micro_cat_config):
+        import copy
+
+        model = copy.deepcopy(trained_micro.model)
+        losses = qat_finetune(model, tiny_dataset,
+                              LogQuantConfig(bits=5, z_w=1),
+                              cat_config=micro_cat_config, epochs=2, lr=1e-3)
+        assert len(losses) == 2
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_finetune_restores_float_forward(self, tiny_dataset,
+                                             trained_micro, micro_cat_config):
+        import copy
+
+        model = copy.deepcopy(trained_micro.model)
+        qat_finetune(model, tiny_dataset, LogQuantConfig(bits=5),
+                     cat_config=micro_cat_config, epochs=1)
+        assert not any(hasattr(m, "_qat_hook") for m in model.modules())

@@ -1,0 +1,64 @@
+"""Post-training quantisation of converted SNNs (Fig. 4 machinery)."""
+
+import numpy as np
+
+from repro.quant import LogQuantConfig, accuracy_vs_bits, quantize_snn
+
+
+class TestQuantizeSNN:
+    def test_returns_copy(self, converted_micro):
+        q, _ = quantize_snn(converted_micro, LogQuantConfig(bits=5, z_w=1))
+        assert q is not converted_micro
+        orig = converted_micro.weight_layers[0].weight
+        quant = q.weight_layers[0].weight
+        assert orig.shape == quant.shape
+        assert not np.allclose(orig, quant)
+
+    def test_original_untouched(self, converted_micro):
+        before = converted_micro.weight_layers[0].weight.copy()
+        quantize_snn(converted_micro, LogQuantConfig(bits=4, z_w=0))
+        assert np.array_equal(before, converted_micro.weight_layers[0].weight)
+
+    def test_report_per_layer(self, converted_micro):
+        _, report = quantize_snn(converted_micro, LogQuantConfig(bits=5))
+        n = len(converted_micro.weight_layers)
+        assert len(report.layer_names) == n
+        assert len(report.mse) == n
+        assert all(m >= 0 for m in report.mse)
+        assert all(f > 0 for f in report.fsr)
+
+    def test_report_summary_renders(self, converted_micro):
+        _, report = quantize_snn(converted_micro, LogQuantConfig(bits=5))
+        text = report.summary()
+        assert "mse" in text and "conv0" in text
+
+    def test_biases_not_quantised(self, converted_micro):
+        q, _ = quantize_snn(converted_micro, LogQuantConfig(bits=4, z_w=0))
+        for orig, quant in zip(converted_micro.weight_layers,
+                               q.weight_layers):
+            assert np.array_equal(orig.bias, quant.bias)
+
+    def test_high_bits_accuracy_close_to_fp(self, converted_micro,
+                                            tiny_dataset):
+        fp_acc = converted_micro.accuracy(tiny_dataset.test_x,
+                                          tiny_dataset.test_y)
+        q, _ = quantize_snn(converted_micro, LogQuantConfig(bits=8, z_w=1))
+        q_acc = q.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert q_acc >= fp_acc - 0.1
+
+
+class TestAccuracySweep:
+    def test_sweep_structure(self, converted_micro, tiny_dataset):
+        res = accuracy_vs_bits(converted_micro, tiny_dataset.test_x[:20],
+                               tiny_dataset.test_y[:20],
+                               bit_widths=(4, 6), z_ws=(0, 1))
+        assert set(res) == {"fp32", 0, 1}
+        assert set(res[0]) == {4, 6}
+
+    def test_fp32_is_ceiling_on_average(self, converted_micro, tiny_dataset):
+        res = accuracy_vs_bits(converted_micro, tiny_dataset.test_x,
+                               tiny_dataset.test_y, bit_widths=(4, 8),
+                               z_ws=(1,))
+        # 8-bit should be within noise of fp32; 4-bit may lose accuracy
+        assert res[1][8] >= res["fp32"] - 0.1
+        assert res[1][4] <= res["fp32"] + 0.1

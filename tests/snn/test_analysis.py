@@ -1,0 +1,121 @@
+"""Spike-train analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.cat import NO_SPIKE
+from repro.snn import (
+    SpikeTrain,
+    ascii_raster,
+    compare_trains,
+    pipeline_diagram,
+    simulation_stats,
+    train_stats,
+)
+
+
+@pytest.fixture()
+def train():
+    return SpikeTrain(np.array([0, 3, NO_SPIKE, 3, 7]), window=8)
+
+
+class TestTrainStats:
+    def test_counts(self, train):
+        stats = train_stats(train, name="L1")
+        assert stats.name == "L1"
+        assert stats.neurons == 5
+        assert stats.spikes == 4
+        assert np.isclose(stats.firing_rate, 0.8)
+
+    def test_timing(self, train):
+        stats = train_stats(train)
+        assert stats.earliest == 0
+        assert stats.latest == 7
+        assert np.isclose(stats.mean_spike_time, (0 + 3 + 3 + 7) / 4)
+
+    def test_silent_train(self):
+        stats = train_stats(SpikeTrain(np.full(3, NO_SPIKE), window=4))
+        assert stats.spikes == 0
+        assert stats.earliest == -1
+        assert np.isnan(stats.mean_spike_time)
+
+    def test_as_row(self, train):
+        row = train_stats(train, "x").as_row()
+        assert row[0] == "x" and row[2] == 4
+
+
+class TestRaster:
+    def test_raster_marks_spikes(self, train):
+        art = ascii_raster(train, title="demo")
+        lines = art.splitlines()
+        assert lines[0] == "demo"
+        # neuron 0 fires at t=0: its row has '|' at the first column
+        row0 = lines[2]
+        assert row0.endswith("|" + "." * 8)
+
+    def test_raster_silent_rows(self, train):
+        art = ascii_raster(train)
+        row2 = art.splitlines()[3]  # neuron index 2 never fires
+        assert "|" not in art.splitlines()[4 - 1] or "." * 9 in row2
+
+    def test_raster_truncates(self):
+        big = SpikeTrain(np.zeros(100, dtype=np.int64), window=4)
+        art = ascii_raster(big, max_neurons=10)
+        assert len(art.splitlines()) == 11  # header + 10 neurons
+
+
+class TestPipelineDiagram:
+    def test_latency_line(self):
+        art = pipeline_diagram(4, 12)
+        assert "48 timesteps" in art
+
+    def test_early_firing_halves(self):
+        art = pipeline_diagram(4, 12, early_firing=True)
+        # 3 steps of T/2 + final window: 3*6 + 12 = 30
+        assert "30 timesteps" in art
+
+    def test_custom_names(self):
+        art = pipeline_diagram(2, 8, stage_names=("input", "conv1"))
+        assert "input" in art and "conv1" in art
+
+    def test_name_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pipeline_diagram(3, 8, stage_names=("a",))
+
+
+class TestCompare:
+    def test_identical(self, train):
+        diff = compare_trains(train, train)
+        assert diff["identical_times"] == 4
+        assert diff["only_in_a"] == 0
+        assert diff["max_abs_shift"] == 0
+
+    def test_shifted(self):
+        a = SpikeTrain(np.array([1, 2]), window=8)
+        b = SpikeTrain(np.array([3, 2]), window=8)
+        diff = compare_trains(a, b)
+        assert diff["mean_time_shift"] == -1.0
+        assert diff["max_abs_shift"] == 2
+
+    def test_presence_mismatch(self):
+        a = SpikeTrain(np.array([1, NO_SPIKE]), window=8)
+        b = SpikeTrain(np.array([NO_SPIKE, NO_SPIKE]), window=8)
+        diff = compare_trains(a, b)
+        assert diff["only_in_a"] == 1
+        assert diff["matching_neurons"] == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            compare_trains(SpikeTrain(np.array([0]), window=4),
+                           SpikeTrain(np.array([0, 1]), window=4))
+
+
+class TestSimulationStats:
+    def test_stats_per_trace(self, converted_micro, tiny_dataset):
+        from repro.snn import EventDrivenTTFSNetwork
+
+        res = EventDrivenTTFSNetwork(converted_micro).run(
+            tiny_dataset.test_x[:4])
+        stats = simulation_stats(res)
+        assert len(stats) == len(res.traces)
+        assert all(0 <= s.firing_rate <= 1 for s in stats)

@@ -1,0 +1,125 @@
+"""T2FSNN baseline: weight normalisation, kernel tuning, latency."""
+
+import numpy as np
+import pytest
+
+from repro.cat import CATConfig, ExpKernel, extract_layer_specs, train_cat
+from repro.nn import init as nninit, vgg_micro
+from repro.snn import (
+    T2FSNNConfig,
+    convert_t2fsnn,
+    normalize_weights_layerwise,
+    optimize_layer_kernel,
+)
+from repro.snn.t2fsnn import _quantize_exp
+
+
+@pytest.fixture(scope="module")
+def relu_model(tiny_dataset):
+    """A conventionally trained (ReLU-only) model, as T2FSNN assumes."""
+    nninit.seed(21)
+    model = vgg_micro(num_classes=4, input_size=8)
+    cfg = CATConfig(window=12, tau=2.0, method="I", epochs=6, relu_epochs=6,
+                    ttfs_epoch=6, lr=0.05, milestones=(3, 4, 5),
+                    batch_size=32, augment=False)
+    train_cat(model, tiny_dataset, cfg)
+    return model
+
+
+class TestWeightNorm:
+    def test_activations_bounded_after_norm(self, relu_model, tiny_dataset):
+        specs = extract_layer_specs(relu_model)
+        x = tiny_dataset.train_x[:32]
+        lambdas = normalize_weights_layerwise(specs, x)
+        assert len(lambdas) == 3  # micro VGG weight layers
+        assert all(lam > 0 for lam in lambdas)
+        # After normalisation, re-running the calibration keeps every
+        # layer's max activation at ~1.
+        from repro.tensor import Tensor, conv2d, max_pool2d
+
+        act = x / x.max()
+        for spec in specs:
+            if spec.kind == "conv":
+                act = conv2d(Tensor(act), Tensor(spec.weight),
+                             Tensor(spec.bias), spec.stride, spec.padding).data
+                act = np.maximum(act, 0)
+                assert act.max() <= 1.0 + 1e-4
+            elif spec.kind == "maxpool":
+                act = max_pool2d(Tensor(act), spec.kernel_size,
+                                 spec.stride).data
+            elif spec.kind == "flatten":
+                act = act.reshape(len(act), -1)
+            elif spec.kind == "linear":
+                act = act @ spec.weight.T + spec.bias
+                act = np.maximum(act, 0)
+                assert act.max() <= 1.0 + 1e-4
+
+
+class TestKernelOptimizer:
+    def test_reduces_coding_error(self, rng):
+        acts = rng.random(3000) * 0.9 + 0.05
+        init = ExpKernel(tau=30.0, t_d=0.0)  # deliberately poor tau
+        tuned = optimize_layer_kernel(acts, window=16, theta0=1.0, init=init)
+
+        def err(k):
+            q = _quantize_exp(acts, k, 16, 1.0)
+            return float(np.mean((q - acts) ** 2))
+
+        assert err(tuned) <= err(init)
+
+    def test_empty_activations_keeps_init(self):
+        init = ExpKernel(tau=20.0)
+        tuned = optimize_layer_kernel(np.zeros(10), window=16, theta0=1.0,
+                                      init=init)
+        assert tuned == init
+
+    def test_diversifies_kernels_per_layer(self, relu_model, tiny_dataset):
+        cfg = T2FSNNConfig(window=16, tau=4.0, optimizer_iters=20)
+        snn = convert_t2fsnn(relu_model, cfg, tiny_dataset.train_x[:32])
+        assert not snn.uses_uniform_kernels
+
+
+class TestLatency:
+    def test_early_firing_halves(self, relu_model, tiny_dataset):
+        cfg_fast = T2FSNNConfig(window=16, early_firing=True,
+                                optimize_kernels=False)
+        cfg_slow = T2FSNNConfig(window=16, early_firing=False,
+                                optimize_kernels=False)
+        snn_f = convert_t2fsnn(relu_model, cfg_fast, tiny_dataset.train_x[:16])
+        snn_s = convert_t2fsnn(relu_model, cfg_slow, tiny_dataset.train_x[:16])
+        assert snn_f.latency_timesteps == snn_s.latency_timesteps // 2
+
+    def test_paper_latency_numbers(self):
+        """T2FSNN VGG-16 @ T=80: 680 with early firing, 1360 without."""
+        from repro.analysis import latency_timesteps
+
+        assert latency_timesteps(16, 80, early_firing=True) == 680
+        assert latency_timesteps(16, 80, early_firing=False) == 1360
+
+
+class TestAccuracy:
+    def test_baseline_above_chance(self, relu_model, tiny_dataset):
+        cfg = T2FSNNConfig(window=24, tau=6.0, optimizer_iters=15)
+        snn = convert_t2fsnn(relu_model, cfg, tiny_dataset.train_x[:32])
+        acc = snn.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert acc > 0.4  # chance = 0.25
+
+    def test_optimized_not_worse_than_default(self, relu_model, tiny_dataset):
+        cfg_opt = T2FSNNConfig(window=16, tau=4.0, optimizer_iters=25)
+        cfg_raw = T2FSNNConfig(window=16, tau=4.0, optimize_kernels=False)
+        snn_o = convert_t2fsnn(relu_model, cfg_opt, tiny_dataset.train_x[:48])
+        snn_r = convert_t2fsnn(relu_model, cfg_raw, tiny_dataset.train_x[:48])
+        acc_o = snn_o.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        acc_r = snn_r.accuracy(tiny_dataset.test_x, tiny_dataset.test_y)
+        assert acc_o >= acc_r - 0.05
+
+
+class TestQuantizeExp:
+    def test_grid_fixed_points(self):
+        k = ExpKernel(tau=8.0, t_d=2.0)
+        grid = k.grid(20)
+        assert np.allclose(_quantize_exp(grid, k, 20, 1.0), grid, rtol=1e-9)
+
+    def test_zero_stays_zero(self):
+        k = ExpKernel(tau=8.0)
+        assert _quantize_exp(np.zeros(3), k, 20, 1.0).tolist() == [0, 0, 0]

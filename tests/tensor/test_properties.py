@@ -1,0 +1,74 @@
+"""Hypothesis property tests on the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, col2im, im2col
+
+floats = hnp.arrays(
+    np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@given(floats)
+@settings(max_examples=40, deadline=None)
+def test_sum_grad_is_ones(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@given(floats)
+@settings(max_examples=40, deadline=None)
+def test_linearity_of_grad(data):
+    """d/dx sum(a*x) == a for scalar a."""
+    x = Tensor(data.copy(), requires_grad=True)
+    (x * 3.5).sum().backward()
+    assert np.allclose(x.grad, 3.5, atol=1e-5)
+
+
+@given(floats)
+@settings(max_examples=40, deadline=None)
+def test_add_then_sub_grad_cancels(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    ((x + x) - x).sum().backward()
+    assert np.allclose(x.grad, 1.0, atol=1e-5)
+
+
+@given(
+    st.integers(2, 6), st.integers(1, 3), st.integers(4, 8),
+    st.integers(0, 1), st.integers(1, 2), st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_im2col_col2im_adjoint(n, c, size, pad, stride, seed):
+    """<im2col(x), y> == <x, col2im(y)> for random operands."""
+    k = 3
+    if size + 2 * pad < k:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, c, size, size))
+    cols, _ = im2col(x, k, stride, pad)
+    y = rng.standard_normal(cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, k, stride, pad)).sum())
+    assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                  elements=st.floats(-5, 5, allow_nan=False)))
+@settings(max_examples=40, deadline=None)
+def test_relu_clip_consistency(data):
+    """relu(x) == clip(x, 0, inf) on bounded data."""
+    x1 = Tensor(data.copy())
+    x2 = Tensor(data.copy())
+    assert np.allclose(x1.relu().data, x2.clip(0.0, 1e9).data)
+
+
+@given(st.lists(st.floats(0.1, 10), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_log_exp_identity(values):
+    x = Tensor(np.array(values))
+    assert np.allclose(x.log().exp().data, x.data, rtol=1e-4)

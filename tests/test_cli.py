@@ -1,0 +1,52 @@
+"""CLI smoke tests (direct main() invocation, stdout captured)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "subsystems" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--window", "12", "--tau", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ttfs=0.0000" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "step I" in out and "paper" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-imagenet" in out and "SNN fps" in out
+
+    def test_latency_default_is_table2(self, capsys):
+        assert main(["latency", "--window", "24"]) == 0
+        assert "408 timesteps" in capsys.readouterr().out
+
+    def test_latency_early_firing(self, capsys):
+        assert main(["latency", "--window", "80", "--early-firing"]) == 0
+        assert "680 timesteps" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTrainCommand:
+    def test_train_micro(self, capsys):
+        code = main(["train", "--dataset", "mini-cifar10", "--epochs", "2",
+                     "--window", "8", "--tau", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ANN" in out and "SNN" in out and "latency" in out
