@@ -9,6 +9,7 @@ nn       : layers + VGG builders with hot-swappable activations
 optim    : SGD + multi-step LR (the paper's training recipe)
 data     : synthetic CIFAR/Tiny-ImageNet stand-ins
 cat      : conversion-aware training + ANN-to-SNN conversion (core)
+engine   : unified layer-walk core + batched runner + scheme registry
 snn      : event-driven TTFS simulator + T2FSNN baseline
 quant    : logarithmic weight quantisation + LUT/shift arithmetic
 hw       : SNN processor model (SpinalFlow-derived) + Table 4 baselines
@@ -17,12 +18,13 @@ analysis : metrics, reporting, paper reference constants
 
 __version__ = "1.0.0"
 
-from . import analysis, cat, data, hw, nn, optim, quant, snn, tensor
+from . import analysis, cat, data, engine, hw, nn, optim, quant, snn, tensor
 
 __all__ = [
     "analysis",
     "cat",
     "data",
+    "engine",
     "hw",
     "nn",
     "optim",

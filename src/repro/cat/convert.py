@@ -30,9 +30,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.executor import run_value_pipeline
 from ..nn.layers import AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d
 from ..nn.vgg import VGG
-from ..tensor import Tensor, conv2d as conv2d_op
 from .activations import TTFSActivation
 from .schedule import CATConfig
 
@@ -165,25 +165,6 @@ class ConvertedSNN:
         """End-to-end latency in timesteps (Table 2 row 'Latency')."""
         return self.num_pipeline_stages * self.config.window
 
-    # ------------------------------------------------------------------
-    def _affine(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
-        if spec.kind == "conv":
-            out = conv2d_op(
-                Tensor(x), Tensor(spec.weight), Tensor(spec.bias),
-                spec.stride, spec.padding,
-            )
-            return out.data
-        return x @ spec.weight.T + spec.bias
-
-    @staticmethod
-    def _pool(spec: LayerSpec, x: np.ndarray) -> np.ndarray:
-        from ..tensor import avg_pool2d, max_pool2d
-
-        t = Tensor(x)
-        if spec.kind == "maxpool":
-            return max_pool2d(t, spec.kernel_size, spec.stride).data
-        return avg_pool2d(t, spec.kernel_size, spec.stride).data
-
     def encode_input(self, x: np.ndarray) -> np.ndarray:
         """TTFS-encode the input image (pixels -> first-spike grid values)."""
         return self.activation.array(x)
@@ -192,18 +173,10 @@ class ConvertedSNN:
         """Run the SNN in the value domain; returns readout potentials."""
         if encode_input:
             x = self.encode_input(x)
-        for spec in self.layers:
-            if spec.is_weight_layer:
-                x = self._affine(spec, x)
-                if spec.is_output:
-                    x = x * self.output_scale
-                else:
-                    x = self.activation.array(x)
-            elif spec.kind in ("maxpool", "avgpool"):
-                x = self._pool(spec, x)
-            elif spec.kind == "flatten":
-                x = x.reshape(len(x), -1)
-        return x
+        return run_value_pipeline(
+            self.layers, x,
+            hidden=lambda wi, z: self.activation.array(z),
+            output=lambda z: z * self.output_scale)
 
     def layer_activations(self, x: np.ndarray, encode_input: bool = True
                           ) -> List[np.ndarray]:
@@ -212,18 +185,18 @@ class ConvertedSNN:
         if encode_input:
             x = self.encode_input(x)
         acts.append(x)
-        for spec in self.layers:
-            if spec.is_weight_layer:
-                x = self._affine(spec, x)
-                if spec.is_output:
-                    x = x * self.output_scale
-                else:
-                    x = self.activation.array(x)
-                acts.append(x)
-            elif spec.kind in ("maxpool", "avgpool"):
-                x = self._pool(spec, x)
-            elif spec.kind == "flatten":
-                x = x.reshape(len(x), -1)
+
+        def _tap(transform):
+            def apply(z):
+                z = transform(z)
+                acts.append(z)
+                return z
+            return apply
+
+        hidden_tap = _tap(self.activation.array)
+        run_value_pipeline(self.layers, x,
+                           hidden=lambda wi, z: hidden_tap(z),
+                           output=_tap(lambda z: z * self.output_scale))
         return acts
 
     # ------------------------------------------------------------------

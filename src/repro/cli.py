@@ -7,7 +7,9 @@ Fast, self-contained entry points into the reproduction:
 * ``fig6``   — PE-array area/power design points (analytic, instant);
 * ``table4`` — processor comparison on exact VGG-16 geometry (instant);
 * ``train``  — run a small CAT training + conversion demo (~1 min);
-* ``latency``— TTFS pipeline latency calculator (Table 2 formula).
+* ``latency``— TTFS pipeline latency calculator (Table 2 formula);
+* ``simulate``— train a small model, then run it through any registered
+  coding scheme with the batched engine runner.
 
 The full table/figure regeneration lives in ``benchmarks/`` (pytest).
 """
@@ -138,6 +140,61 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    import time
+
+    from .cat import CATConfig, convert, train_cat
+    from .data import load
+    from .engine import PipelineRunner, create_scheme, result_predictions
+    from .nn import init as nninit, vgg_micro
+
+    if args.max_batch < 1:
+        print("repro simulate: error: --max-batch must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    dataset = load(args.dataset)
+    nninit.seed(args.seed)
+    size = dataset.image_shape[-1]
+    model = vgg_micro(num_classes=dataset.num_classes, input_size=size)
+    config = CATConfig(
+        window=args.window, tau=args.tau, method="I+II+III",
+        epochs=args.epochs, relu_epochs=1,
+        ttfs_epoch=max(1, int(args.epochs * 0.85)),
+        milestones=tuple(max(1, int(args.epochs * f))
+                         for f in (0.4, 0.6, 0.8)),
+        batch_size=40, augment=False, seed=args.seed,
+    )
+    print(f"training vgg_micro on {dataset.name} "
+          f"(T={args.window}, tau={args.tau:g}, {args.epochs} epochs)")
+    train_cat(model, dataset, config)
+    snn = convert(model, config, calibration=dataset.train_x[:64])
+
+    scheme = create_scheme(args.scheme, snn)
+    runner = PipelineRunner(scheme, max_batch=args.max_batch)
+    x, y = dataset.test_x, dataset.test_y
+    chunks = -(-len(x) // args.max_batch)
+    print(f"simulating {len(x)} images with scheme '{args.scheme}' "
+          f"({chunks} chunk(s) of <= {args.max_batch})")
+    t0 = time.perf_counter()
+    result = runner.run(x)
+    elapsed = time.perf_counter() - t0
+    preds = result_predictions(result)
+    acc = float((preds == y).mean())
+    print(f"accuracy  : {acc:.3f}")
+    print(f"throughput: {len(x) / elapsed:.1f} img/s "
+          f"({1e3 * elapsed / len(x):.2f} ms/img)")
+    for attr, label in (("total_spikes", "spikes    "),
+                        ("total_sops", "SOPs      "),
+                        ("agreement", "fp agree  "),
+                        ("max_membrane_drift", "fp drift  ")):
+        value = getattr(result, attr, None)
+        if value is not None:
+            print(f"{label}: {value:.4f}" if isinstance(value, float)
+                  else f"{label}: {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
@@ -174,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lr", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_train)
+
+    from .engine import available_schemes
+
+    p = sub.add_parser("simulate",
+                       help="run a coding scheme via the batched engine")
+    p.add_argument("--scheme", choices=available_schemes(),
+                   default="ttfs-closed-form")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset (see repro.data.available())")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="images per simulation chunk")
+    p.add_argument("--window", type=int, default=8)
+    p.add_argument("--tau", type=float, default=2.0)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_simulate)
 
     return parser
 

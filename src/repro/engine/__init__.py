@@ -1,0 +1,62 @@
+"""Unified simulation engine: one layer walk under every simulator stack.
+
+``executor``  — the shared per-layer primitives and the walk itself;
+``runner``    — batched/chunked execution with aggregated statistics;
+``registry``  — pluggable coding schemes (``ttfs-closed-form``,
+``ttfs-timestep``, ``ttfs-early``, ``rate``, ``fixed-point``, ...).
+
+See ``docs/engine.md`` for the architecture note and how to add a new
+coding scheme.
+"""
+
+from .executor import (
+    FIRE_TOL,
+    CodingScheme,
+    ExecutionContext,
+    LayerTrace,
+    SpikeTrainScheme,
+    affine,
+    avgpool_times,
+    bias_shaped,
+    conv_fanout,
+    fire_times_from_membrane,
+    layer_sops,
+    output_shape,
+    pool_times,
+    pool_values,
+    run_pipeline,
+    run_value_pipeline,
+)
+from .registry import (
+    available_schemes,
+    create_scheme,
+    get_scheme,
+    register_scheme,
+)
+from .runner import PipelineRunner, merge_traces, result_predictions
+
+__all__ = [
+    "FIRE_TOL",
+    "CodingScheme",
+    "ExecutionContext",
+    "LayerTrace",
+    "SpikeTrainScheme",
+    "affine",
+    "avgpool_times",
+    "bias_shaped",
+    "conv_fanout",
+    "fire_times_from_membrane",
+    "layer_sops",
+    "output_shape",
+    "pool_times",
+    "pool_values",
+    "run_pipeline",
+    "run_value_pipeline",
+    "available_schemes",
+    "create_scheme",
+    "get_scheme",
+    "register_scheme",
+    "PipelineRunner",
+    "merge_traces",
+    "result_predictions",
+]

@@ -1,0 +1,314 @@
+"""Shared pipeline-execution core for every simulator stack.
+
+The paper's pipeline (Fig. 1) is one abstraction — a sequence of
+:class:`~repro.cat.convert.LayerSpec` records integrated, fired and
+pooled in the time domain.  This module implements that layer walk
+*once*; the event-driven TTFS simulator, the rate-coded comparison, the
+T2FSNN baseline evaluation and the hardware fixed-point/tile models are
+thin :class:`CodingScheme` strategies over it.
+
+The executor owns everything every stack used to reimplement privately:
+
+* the per-layer affine map (conv / linear through the tensor
+  primitives) and its output-shape inference;
+* time-domain max pooling (earliest spike wins) and the documented
+  decode/pool/re-encode lowering of average pooling;
+* spike-statistics bookkeeping (:class:`LayerTrace`, SOP counting);
+* the vectorised fire-phase threshold sweep (a cumulative formulation
+  of the per-timestep comparison loop — the threshold is monotone
+  decreasing, so the first crossing is a ``searchsorted``).
+
+Intentionally *not* imported at module level: anything from
+``repro.snn`` or ``repro.hw``.  Those packages import the engine, so the
+engine reaches back for :class:`SpikeTrain` lazily, keeping the layering
+acyclic (tensor / cat.kernels -> engine -> snn / hw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cat.kernels import NO_SPIKE
+from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
+
+#: Membranes exactly on-threshold fire (float guard of the fire phase).
+FIRE_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Per-layer primitives
+# ----------------------------------------------------------------------
+
+def affine(spec, x: np.ndarray, include_bias: bool = True) -> np.ndarray:
+    """The layer's affine map ``W x (+ b)`` for conv and linear specs."""
+    if spec.kind == "conv":
+        bias = Tensor(spec.bias) if include_bias else None
+        out = conv2d_op(Tensor(x), Tensor(spec.weight), bias,
+                        spec.stride, spec.padding).data
+        return out.astype(np.float64, copy=False)
+    out = x @ spec.weight.T
+    if include_bias:
+        out = out + spec.bias
+    return out.astype(np.float64, copy=False)
+
+
+def output_shape(spec, in_shape: Sequence[int]) -> tuple:
+    """Shape produced by a weight layer on an input of ``in_shape``."""
+    if spec.kind == "conv":
+        n, _, h, w = in_shape
+        k, s, p = spec.kernel_size, spec.stride, spec.padding
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        return (n, spec.weight.shape[0], oh, ow)
+    return (in_shape[0], spec.weight.shape[0])
+
+
+def bias_shaped(spec) -> np.ndarray:
+    """The layer bias broadcast to its activation rank."""
+    if spec.kind == "conv":
+        return spec.bias[None, :, None, None]
+    return spec.bias[None, :]
+
+
+def pool_values(spec, x: np.ndarray) -> np.ndarray:
+    """Value-domain max/avg pooling for ``maxpool``/``avgpool`` specs."""
+    t = Tensor(x)
+    if spec.kind == "maxpool":
+        return max_pool2d(t, spec.kernel_size, spec.stride).data
+    return avg_pool2d(t, spec.kernel_size, spec.stride).data
+
+
+def conv_fanout(spec) -> int:
+    """Average fan-out of one input spike in a conv layer.
+
+    Each input event updates at most K*K*C_out membranes (SpinalFlow's
+    dataflow); borders reduce the average slightly, which the hardware
+    model folds in separately.
+    """
+    return spec.kernel_size ** 2 * spec.weight.shape[0]
+
+
+def layer_sops(spec, input_spikes: int) -> int:
+    """Synaptic operations a weight layer performs on ``input_spikes``."""
+    fanout = spec.weight.shape[0] if spec.kind == "linear" else conv_fanout(spec)
+    return input_spikes * fanout
+
+
+# ----------------------------------------------------------------------
+# Time-domain pooling on spike trains
+# ----------------------------------------------------------------------
+
+def pool_times(spec, train):
+    """Max-pool in the time domain: the earliest spike wins.
+
+    Under TTFS coding the maximum value corresponds to the minimum spike
+    time, so spatial max-pooling is a windowed min over fire times
+    (``NO_SPIKE`` treated as +inf).
+    """
+    from ..snn.spikes import SpikeTrain
+
+    times = train.times
+    n, c, h, w = times.shape
+    k, s = spec.kernel_size, spec.stride
+    oh = (h - k) // s + 1
+    ow = (w - k) // s + 1
+    big = np.where(times == NO_SPIKE, np.iinfo(np.int64).max, times)
+    sn, sc, sh, sw = big.strides
+    view = np.lib.stride_tricks.as_strided(
+        big, shape=(n, c, oh, ow, k, k),
+        strides=(sn, sc, sh * s, sw * s, sh, sw), writeable=False,
+    )
+    pooled = view.min(axis=(4, 5))
+    pooled = np.where(pooled == np.iinfo(np.int64).max, NO_SPIKE, pooled)
+    return SpikeTrain(pooled, train.window)
+
+
+def avgpool_times(spec, train, kernel, theta0: float = 1.0):
+    """Average pooling on a spike train.
+
+    Average pooling has no exact single-spike representation; decode,
+    pool in the value domain, re-encode (documented coding loss).
+    """
+    from ..snn.spikes import encode_values
+
+    decoded = train.decode(kernel, theta0)
+    pooled = avg_pool2d(Tensor(decoded), spec.kernel_size, spec.stride).data
+    return encode_values(pooled, kernel, train.window, theta0)
+
+
+# ----------------------------------------------------------------------
+# Vectorised fire-phase threshold sweep
+# ----------------------------------------------------------------------
+
+def fire_times_from_membrane(membrane: np.ndarray, kernel, window: int,
+                             theta0: float = 1.0) -> np.ndarray:
+    """First threshold crossing per neuron, without a per-``t`` loop.
+
+    Bit-identical to sweeping ``t = 0..window`` and firing where
+    ``membrane >= theta0 * kernel(t) - FIRE_TOL``: the threshold decays
+    monotonically, so the crossing predicate is monotone in ``t`` and the
+    first crossing is a binary search over the threshold grid.
+    """
+    thresholds = theta0 * kernel.value(np.arange(window + 1))
+    # a[t] = -(theta(t) - tol) is ascending; the first t with
+    # a[t] >= -membrane is exactly the first t with membrane >= theta(t) - tol.
+    ascending = -(thresholds - FIRE_TOL)
+    t = np.searchsorted(ascending, -np.asarray(membrane, dtype=np.float64),
+                        side="left")
+    return np.where(t > window, NO_SPIKE, t).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Execution context and statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class LayerTrace:
+    """Per-layer record of one simulation run."""
+
+    name: str
+    input_spikes: int
+    output_spikes: int
+    neurons: int
+    sops: int  # synaptic operations = sum over input spikes of fan-out
+    membrane: Optional[np.ndarray] = None
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable per-run bookkeeping shared by the walk and the scheme.
+
+    ``weight_index`` is the index of the weight layer currently being
+    executed (the walk increments it); ``extra`` is scheme-private
+    scratch space (e.g. the tile model parks its cycle report there).
+    """
+
+    traces: List[LayerTrace] = field(default_factory=list)
+    weight_index: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def record(self, trace: LayerTrace) -> None:
+        self.traces.append(trace)
+
+
+# ----------------------------------------------------------------------
+# The layer walk
+# ----------------------------------------------------------------------
+
+class CodingScheme:
+    """Strategy interface over the shared layer walk.
+
+    A scheme decides how values are represented between layers (spike
+    trains, per-timestep signals, plain arrays) and what a weight layer
+    does to that state; :func:`run_pipeline` owns the walk itself.
+    Implementations set :attr:`scheme_name` and are registered in
+    :mod:`repro.engine.registry` so new coding schemes plug in without
+    another copy of the walk.
+    """
+
+    scheme_name: str = ""
+
+    @property
+    def layers(self):
+        return self.snn.layers  # subclasses hold the converted network
+
+    # -- hooks ----------------------------------------------------------
+    def encode_input(self, images: np.ndarray, ctx: ExecutionContext):
+        raise NotImplementedError
+
+    def weight_layer(self, spec, state, ctx: ExecutionContext):
+        raise NotImplementedError
+
+    def pool(self, spec, state, ctx: ExecutionContext):
+        raise NotImplementedError
+
+    def flatten(self, state, ctx: ExecutionContext):
+        raise NotImplementedError
+
+    def finalize(self, state, ctx: ExecutionContext):
+        return state
+
+    # -- driving --------------------------------------------------------
+    def run(self, images: np.ndarray):
+        """Execute the full pipeline on a batch of images."""
+        return run_pipeline(self, images)
+
+    def merge(self, results: List[Any]):
+        """Aggregate per-chunk results (see :class:`PipelineRunner`)."""
+        raise NotImplementedError
+
+
+class SpikeTrainScheme(CodingScheme):
+    """Default pool/flatten hooks for schemes whose inter-layer state is
+    a :class:`~repro.snn.spikes.SpikeTrain` (requires ``self.snn`` and
+    ``self.kernel``)."""
+
+    @property
+    def theta0(self) -> float:
+        return self.snn.config.theta0
+
+    def pool(self, spec, train, ctx: ExecutionContext):
+        if spec.kind == "maxpool":
+            return pool_times(spec, train)
+        return avgpool_times(spec, train, self.kernel, self.theta0)
+
+    def flatten(self, train, ctx: ExecutionContext):
+        return train.reshape((train.shape[0], -1))
+
+
+def run_pipeline(scheme: CodingScheme, images: np.ndarray):
+    """The single layer walk every simulator stack executes.
+
+    Encodes the input, dispatches each :class:`LayerSpec` to the
+    scheme's hook, stops at the readout layer and hands the final state
+    to the scheme for packaging.
+    """
+    ctx = ExecutionContext()
+    state = scheme.encode_input(images, ctx)
+    for spec in scheme.layers:
+        if spec.is_weight_layer:
+            state = scheme.weight_layer(spec, state, ctx)
+            if spec.is_output:
+                break
+            ctx.weight_index += 1
+        elif spec.kind in ("maxpool", "avgpool"):
+            state = scheme.pool(spec, state, ctx)
+        elif spec.kind == "flatten":
+            state = scheme.flatten(state, ctx)
+        else:
+            raise ValueError(f"unknown layer kind {spec.kind!r}")
+    return scheme.finalize(state, ctx)
+
+
+# ----------------------------------------------------------------------
+# Value-domain walk (shared by ConvertedSNN / T2FSNN evaluation)
+# ----------------------------------------------------------------------
+
+def run_value_pipeline(layers, x: np.ndarray, hidden, output=None) -> np.ndarray:
+    """Value-domain layer walk with pluggable per-layer activations.
+
+    ``hidden(index, pre_activation)`` maps each hidden weight layer's
+    pre-activation to its coded activation (TTFS quantisation, per-layer
+    kernel quantisation, plain ReLU...); ``output(pre_activation)``
+    transforms the readout potentials (scaling, recording).  The affine
+    maps and pooling come from the shared executor primitives, so the
+    evaluation stacks carry no private copies of the walk.
+    """
+    wi = 0
+    for spec in layers:
+        if spec.is_weight_layer:
+            z = affine(spec, x)
+            if spec.is_output:
+                return output(z) if output is not None else z
+            x = hidden(wi, z)
+            wi += 1
+        elif spec.kind in ("maxpool", "avgpool"):
+            x = pool_values(spec, x)
+        elif spec.kind == "flatten":
+            x = x.reshape(len(x), -1)
+        else:
+            raise ValueError(f"unknown layer kind {spec.kind!r}")
+    return x

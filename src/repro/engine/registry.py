@@ -1,0 +1,68 @@
+"""Coding-scheme registry: plug new codings in without copying the walk.
+
+Every simulator stack registers a factory ``factory(snn, **options) ->
+CodingScheme`` under a short name.  The builtin schemes live in the
+modules that implement them and are imported lazily on first lookup, so
+``repro.engine`` itself stays import-cycle free and cheap to import.
+
+Adding a new coding scheme::
+
+    from repro.engine import CodingScheme, register_scheme
+
+    @register_scheme("burst")
+    def _make_burst(snn, **kw):
+        return BurstCodedNetwork(snn, **kw)
+
+after which ``create_scheme("burst", snn)``, the CLI's ``repro simulate
+--scheme burst`` and the :class:`~repro.engine.runner.PipelineRunner`
+all pick it up.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List
+
+_FACTORIES: Dict[str, Callable] = {}
+
+#: Builtin scheme -> module that registers it (imported on first use).
+_BUILTIN_PROVIDERS: Dict[str, str] = {
+    "ttfs-closed-form": "repro.snn.network",
+    "ttfs-timestep": "repro.snn.network",
+    "ttfs-early": "repro.snn.network",
+    "rate": "repro.snn.rate",
+    "fixed-point": "repro.hw.tilesim",
+}
+
+
+def register_scheme(name: str, factory: Callable = None):
+    """Register ``factory(snn, **options)`` under ``name`` (decorator-able)."""
+    def _register(fn: Callable) -> Callable:
+        _FACTORIES[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def get_scheme(name: str) -> Callable:
+    """Look up a scheme factory, importing its builtin provider if needed."""
+    if name not in _FACTORIES and name in _BUILTIN_PROVIDERS:
+        importlib.import_module(_BUILTIN_PROVIDERS[name])
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown coding scheme {name!r}; available: "
+            f"{', '.join(available_schemes())}") from None
+
+
+def create_scheme(name: str, snn, **options):
+    """Instantiate a registered coding scheme around a converted network."""
+    return get_scheme(name)(snn, **options)
+
+
+def available_schemes() -> List[str]:
+    """All registered scheme names (builtins included, unimported too)."""
+    return sorted(set(_FACTORIES) | set(_BUILTIN_PROVIDERS))

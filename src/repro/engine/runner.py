@@ -1,0 +1,101 @@
+"""Batched pipeline execution: chunking, streaming, trace aggregation.
+
+The simulators operate on whole batches; the chip operates image by
+image.  :class:`PipelineRunner` bridges the two scales: it splits large
+batches into ``max_batch`` chunks (bounding peak memory — the time-step
+and rate paths materialise per-timestep state), streams per-chunk
+results, and folds the chunk statistics back into one result via the
+scheme's ``merge``.  Spike/SOP/trace aggregation lives here, in one
+place, for every coding scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .executor import CodingScheme, LayerTrace
+
+
+def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
+    """Fold per-chunk layer traces into whole-batch totals.
+
+    Spike, neuron and SOP counts sum across chunks; recorded membranes
+    concatenate along the batch axis.
+    """
+    if not trace_lists:
+        return []
+    lengths = {len(traces) for traces in trace_lists}
+    if len(lengths) != 1:
+        raise ValueError(f"chunks produced unequal trace counts: {lengths}")
+    merged: List[LayerTrace] = []
+    for per_layer in zip(*trace_lists):
+        names = {t.name for t in per_layer}
+        if len(names) != 1:
+            raise ValueError(f"chunks disagree on layer names: {names}")
+        membranes = [t.membrane for t in per_layer]
+        merged.append(LayerTrace(
+            name=per_layer[0].name,
+            input_spikes=sum(t.input_spikes for t in per_layer),
+            output_spikes=sum(t.output_spikes for t in per_layer),
+            neurons=sum(t.neurons for t in per_layer),
+            sops=sum(t.sops for t in per_layer),
+            membrane=(np.concatenate(membranes, axis=0)
+                      if all(m is not None for m in membranes) else None),
+        ))
+    return merged
+
+
+def result_predictions(result: Any) -> np.ndarray:
+    """Class predictions of any scheme result (method or array field)."""
+    preds = result.predictions
+    return preds() if callable(preds) else np.asarray(preds)
+
+
+class PipelineRunner:
+    """Run a :class:`CodingScheme` over arbitrarily large batches.
+
+    ``max_batch`` caps the number of images simulated at once; larger
+    inputs are chunked and the per-chunk results aggregated through the
+    scheme's ``merge``.  ``stream`` exposes the per-chunk results for
+    callers that want online consumption (progress display, per-chunk
+    persistence) instead of one aggregate.
+    """
+
+    def __init__(self, scheme: CodingScheme, max_batch: int = 64):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.scheme = scheme
+        self.max_batch = max_batch
+
+    # ------------------------------------------------------------------
+    def chunk_bounds(self, n: int) -> Iterator[tuple]:
+        for start in range(0, n, self.max_batch):
+            yield start, min(start + self.max_batch, n)
+
+    def stream(self, images: np.ndarray) -> Iterator[Any]:
+        """Yield one scheme result per ``max_batch`` chunk, in order."""
+        images = np.asarray(images)
+        for start, stop in self.chunk_bounds(len(images)):
+            yield self.scheme.run(images[start:stop])
+
+    def run(self, images: np.ndarray) -> Any:
+        """Simulate the whole batch; returns one aggregated result."""
+        results = list(self.stream(images))
+        if not results:
+            raise ValueError("empty image batch")
+        if len(results) == 1:
+            return results[0]
+        return self.scheme.merge(results)
+
+    # ------------------------------------------------------------------
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy, streamed chunk by chunk (constant memory)."""
+        labels = np.asarray(labels)
+        correct = 0
+        images = np.asarray(images)
+        for start, stop in self.chunk_bounds(len(images)):
+            preds = result_predictions(self.scheme.run(images[start:stop]))
+            correct += int((preds == labels[start:stop]).sum())
+        return correct / len(labels)

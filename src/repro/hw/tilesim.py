@@ -1,20 +1,22 @@
 """Tile-level execution of a converted network on the processor.
 
 Two levels of fidelity beyond the analytic model of
-:mod:`repro.hw.processor`:
+:mod:`repro.hw.processor`, both expressed as strategies over the shared
+:mod:`repro.engine` layer walk:
 
 * :class:`FixedPointInference` — runs every synaptic product through the
   log PE's integer datapath (Eq. 17: log-domain add + frac LUT + shift)
   with a fixed-point membrane accumulator, exactly as the PE array would.
   Comparing its predictions against the float value-domain evaluation
   validates the datapath precision choices (frac LUT width, accumulator
-  bits).
+  bits).  Registered as the ``fixed-point`` coding scheme.
 * :class:`TiledCycleModel` — executes a layer the way the chip does:
   output neurons in 128-wide tiles, input spikes sorted by the min-find
   unit and streamed once per tile, membranes drained through the PPU and
   the spike-encoder FSM per tile.  Cycle counts come from the *actual*
-  encoder FSM run, not an estimate, and can be compared against the
-  analytic ``SNNProcessor`` model.
+  encoder FSM run, not an estimate; the spike trains it propagates are
+  the engine-produced ones (affine map, pooling and spike encoding all
+  come from the shared executor primitives).
 """
 
 from __future__ import annotations
@@ -27,10 +29,13 @@ import numpy as np
 
 from ..cat.convert import ConvertedSNN, LayerSpec
 from ..cat.kernels import NO_SPIKE, Base2Kernel
+from ..engine import executor
+from ..engine.executor import ExecutionContext, SpikeTrainScheme
+from ..engine.registry import register_scheme
 from ..quant.logquant import LogQuantConfig, quantize_tensor
 from ..quant.lut import LogDomainPE, required_frac_bits
 from ..snn.spikes import SpikeTrain, encode_values
-from ..tensor import Tensor, im2col
+from ..tensor import im2col
 from .config import HwConfig
 from .input_generator import InputGenerator
 from .spike_encoder import SpikeEncoder
@@ -53,7 +58,7 @@ class FixedPointReport:
         return float((self.predictions == self.reference_predictions).mean())
 
 
-class FixedPointInference:
+class FixedPointInference(SpikeTrainScheme):
     """Run a ConvertedSNN through the integer log-PE datapath.
 
     Weights are log-quantised (grid-aligned FSR so the PE operands are
@@ -61,6 +66,8 @@ class FixedPointInference:
     construction), and every product is LUT+shift fixed point.  Biases
     are added in fixed point at the accumulator scale, mirroring the PPU.
     """
+
+    scheme_name = "fixed-point"
 
     def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None,
                  weight_config: Optional[LogQuantConfig] = None,
@@ -78,11 +85,10 @@ class FixedPointInference:
                    1)
         self.pe = LogDomainPE(frac_bits=frac, precision_bits=precision_bits)
         self.kernel = Base2Kernel(tau=snn.config.tau)
-        self._quantized = [
-            quantize_tensor(spec.weight, self.weight_config)
-            if spec.is_weight_layer else None
-            for spec in snn.layers
-        ]
+        self._quantized = {
+            id(spec): quantize_tensor(spec.weight, self.weight_config)
+            for spec in snn.layers if spec.is_weight_layer
+        }
 
     # ------------------------------------------------------------------
     def _products_linear(self, times: np.ndarray, qt) -> np.ndarray:
@@ -134,43 +140,55 @@ class FixedPointInference:
         return acc.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
 
     # ------------------------------------------------------------------
-    def run(self, images: np.ndarray) -> FixedPointReport:
+    # CodingScheme hooks
+    # ------------------------------------------------------------------
+    def encode_input(self, images: np.ndarray,
+                     ctx: ExecutionContext) -> SpikeTrain:
         cfg = self.snn.config
-        window = cfg.window
-        scale = 1 << self.pe.precision_bits
-        train = encode_values(np.asarray(images, dtype=np.float64),
-                              self.kernel, window, cfg.theta0)
-        max_drift = 0.0
-        reference = self.snn.forward_value(images)
-        for spec, qt in zip(self.snn.layers, self._quantized):
-            if spec.is_weight_layer:
-                if spec.kind == "conv":
-                    acc = self._products_conv(train.times, qt, spec)
-                    bias = spec.bias[None, :, None, None]
-                else:
-                    acc = self._products_linear(train.times, qt)
-                    bias = spec.bias[None, :]
-                # PPU: bias added once per window, in fixed point.
-                acc = acc + np.round(bias * scale).astype(np.int64)
-                membranes = acc.astype(np.float64) / scale
-                if spec.is_output:
-                    output = membranes * self.snn.output_scale
-                    break
-                train = encode_values(np.maximum(membranes, 0.0),
-                                      self.kernel, window, cfg.theta0)
-            elif spec.kind == "maxpool":
-                from ..snn.network import EventDrivenTTFSNetwork
+        return encode_values(np.asarray(images, dtype=np.float64),
+                             self.kernel, cfg.window, cfg.theta0)
 
-                train = EventDrivenTTFSNetwork._pool_times(spec, train)
-            elif spec.kind == "flatten":
-                train = train.reshape((train.shape[0], -1))
+    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
+                     ctx: ExecutionContext):
+        cfg = self.snn.config
+        scale = 1 << self.pe.precision_bits
+        qt = self._quantized[id(spec)]
+        if spec.kind == "conv":
+            acc = self._products_conv(train.times, qt, spec)
+        else:
+            acc = self._products_linear(train.times, qt)
+        # PPU: bias added once per window, in fixed point.
+        bias = executor.bias_shaped(spec)
+        acc = acc + np.round(bias * scale).astype(np.int64)
+        membranes = acc.astype(np.float64) / scale
+        if spec.is_output:
+            return membranes * self.snn.output_scale
+        return encode_values(np.maximum(membranes, 0.0), self.kernel,
+                             cfg.window, cfg.theta0)
+
+    # ------------------------------------------------------------------
+    def run(self, images: np.ndarray) -> FixedPointReport:
+        output = executor.run_pipeline(self, images)
+        reference = self.snn.forward_value(images)
         drift = float(np.max(np.abs(output - reference))) if output.size else 0.0
-        max_drift = max(max_drift, drift)
         return FixedPointReport(
             predictions=output.argmax(axis=1),
             reference_predictions=reference.argmax(axis=1),
-            max_membrane_drift=max_drift,
+            max_membrane_drift=drift,
         )
+
+    def merge(self, results: List[FixedPointReport]) -> FixedPointReport:
+        return FixedPointReport(
+            predictions=np.concatenate([r.predictions for r in results]),
+            reference_predictions=np.concatenate(
+                [r.reference_predictions for r in results]),
+            max_membrane_drift=max(r.max_membrane_drift for r in results),
+        )
+
+
+@register_scheme("fixed-point")
+def _make_fixed_point(snn: ConvertedSNN, **options) -> FixedPointInference:
+    return FixedPointInference(snn, **options)
 
 
 # ----------------------------------------------------------------------
@@ -212,13 +230,15 @@ class TiledRunReport:
         return out
 
 
-class TiledCycleModel:
+class TiledCycleModel(SpikeTrainScheme):
     """Execute a converted network tile-by-tile with the real encoder FSM.
 
     Single-image granularity (the chip processes one inference at a
     time, Sec. 4.1).  Membrane math uses the float value domain — the
     fixed-point effects are FixedPointInference's job — but control flow
     (tiling, sorted-spike streaming, encoder walk) mirrors the hardware.
+    The spike trains streamed between layers are the engine-produced
+    ones; this class only adds the cycle accounting.
     """
 
     def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None):
@@ -236,39 +256,25 @@ class TiledCycleModel:
             image = image[None]
         if image.shape[0] != 1:
             raise ValueError("tile-level simulation is single-image")
-        cfg = self.snn.config
-        report = TiledRunReport()
-        train = encode_values(np.asarray(image, dtype=np.float64),
-                              self.kernel, cfg.window, cfg.theta0)
-        layer_idx = 0
-        for spec in self.snn.layers:
-            if spec.is_weight_layer:
-                train = self._run_weight_layer(spec, train, report,
-                                               f"{spec.kind}{layer_idx}")
-                if spec.is_output:
-                    break
-                layer_idx += 1
-            elif spec.kind == "maxpool":
-                from ..snn.network import EventDrivenTTFSNetwork
-
-                train = EventDrivenTTFSNetwork._pool_times(spec, train)
-            elif spec.kind == "flatten":
-                train = train.reshape((train.shape[0], -1))
-        return report
+        return executor.run_pipeline(self, image)
 
     # ------------------------------------------------------------------
-    def _run_weight_layer(self, spec: LayerSpec, train: SpikeTrain,
-                          report: TiledRunReport, name: str):
+    # CodingScheme hooks
+    # ------------------------------------------------------------------
+    def encode_input(self, image: np.ndarray,
+                     ctx: ExecutionContext) -> SpikeTrain:
         cfg = self.snn.config
-        decoded = train.decode(self.kernel, cfg.theta0)
-        if spec.kind == "conv":
-            from ..tensor import conv2d as conv2d_op
+        ctx.extra["report"] = TiledRunReport()
+        return encode_values(np.asarray(image, dtype=np.float64),
+                             self.kernel, cfg.window, cfg.theta0)
 
-            membranes = conv2d_op(Tensor(decoded), Tensor(spec.weight),
-                                  Tensor(spec.bias), spec.stride,
-                                  spec.padding).data
-        else:
-            membranes = decoded @ spec.weight.T + spec.bias
+    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
+                     ctx: ExecutionContext) -> SpikeTrain:
+        cfg = self.snn.config
+        report: TiledRunReport = ctx.extra["report"]
+        name = f"{spec.kind}{ctx.weight_index}"
+        decoded = train.decode(self.kernel, cfg.theta0)
+        membranes = executor.affine(spec, decoded)
         flat = membranes.reshape(-1)
         in_spikes = train.num_spikes
         sort_cycles = self.input_gen.sort_cycles(in_spikes)
@@ -305,6 +311,10 @@ class TiledCycleModel:
                 output_spikes=enc.num_spikes))
         return SpikeTrain(out_times.reshape(out_shape), cfg.window)
 
+    def finalize(self, state, ctx: ExecutionContext) -> TiledRunReport:
+        return ctx.extra["report"]
+
+    # ------------------------------------------------------------------
     def _per_tile_input_spikes(self, spec: LayerSpec, train: SpikeTrain,
                                out_shape, num_tiles: int,
                                n_pes: int) -> List[int]:

@@ -6,7 +6,10 @@ Fig. 1: every layer integrates its predecessor's spikes through the
 dendrite kernel timestep by timestep, then encodes its own membrane
 potentials into output spikes with the threshold sweep.
 
-Two execution paths exist and are asserted equal by the test-suite:
+The layer walk itself lives in :mod:`repro.engine`;
+:class:`EventDrivenTTFSNetwork` is the TTFS coding *strategy* over that
+walk.  Two execution paths exist and are asserted equal by the
+test-suite:
 
 * ``timestep`` — faithful: loop over the window, decode the spikes of
   each timestep, push their PSPs through the layer's synapses, then run
@@ -22,27 +25,18 @@ spike counts, synaptic operations (SOPs) and per-layer occupancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional
+from typing import List, Literal
 
 import numpy as np
 
 from ..cat.convert import ConvertedSNN, LayerSpec
-from ..cat.kernels import NO_SPIKE, Base2Kernel
-from ..tensor import Tensor, conv2d as conv2d_op
+from ..cat.kernels import Base2Kernel
+from ..engine import executor
+from ..engine.executor import ExecutionContext, LayerTrace, SpikeTrainScheme
+from ..engine.registry import register_scheme
+from ..engine.runner import PipelineRunner, merge_traces
 from .neuron import IFNeuronPool
 from .spikes import SpikeTrain, encode_values
-
-
-@dataclass
-class LayerTrace:
-    """Per-layer record of one simulation run."""
-
-    name: str
-    input_spikes: int
-    output_spikes: int
-    neurons: int
-    sops: int  # synaptic operations = sum over input spikes of fan-out
-    membrane: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -74,19 +68,7 @@ class SimulationResult:
         return self.output.argmax(axis=1)
 
 
-def _conv_fanout(spec: LayerSpec, out_spatial: int) -> int:
-    """Average fan-out of one input spike in a conv layer.
-
-    Each input event updates at most K*K*C_out membranes (SpinalFlow's
-    dataflow); borders reduce the average slightly, which we fold in via
-    the ratio of valid positions.
-    """
-    k = spec.kernel_size
-    c_out = spec.weight.shape[0]
-    return k * k * c_out
-
-
-class EventDrivenTTFSNetwork:
+class EventDrivenTTFSNetwork(SpikeTrainScheme):
     """Simulate a :class:`ConvertedSNN` spike-by-spike.
 
     ``early_firing`` enables the T2FSNN latency optimisation [4]: a
@@ -106,14 +88,10 @@ class EventDrivenTTFSNetwork:
         self.mode = mode
         self.record_membranes = record_membranes
         self.early_firing = early_firing
+        self.scheme_name = ("ttfs-early" if early_firing
+                           else f"ttfs-{mode.replace('_', '-')}")
 
     # ------------------------------------------------------------------
-    def _affine_no_bias(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
-        if spec.kind == "conv":
-            return conv2d_op(Tensor(x), Tensor(spec.weight), None,
-                             spec.stride, spec.padding).data.astype(np.float64)
-        return (x @ spec.weight.T).astype(np.float64)
-
     def _integrate(self, spec: LayerSpec, train: SpikeTrain,
                    pool: IFNeuronPool) -> None:
         """Integration phase: accumulate PSPs into the pool's membranes."""
@@ -124,11 +102,12 @@ class EventDrivenTTFSNetwork:
                 if not mask.any():
                     continue
                 decoded_step = mask * float(self.kernel.value(t)) * theta0
-                pool.integrate(self._affine_no_bias(spec, decoded_step))
+                pool.integrate(executor.affine(spec, decoded_step,
+                                               include_bias=False))
         else:
             decoded = train.decode(self.kernel, theta0)
-            pool.integrate(self._affine_no_bias(spec, decoded))
-        pool.add_bias(self._bias_shaped(spec, pool.shape))
+            pool.integrate(executor.affine(spec, decoded, include_bias=False))
+        pool.add_bias(executor.bias_shaped(spec))
 
     def _integrate_and_fire_early(self, spec: LayerSpec, train: SpikeTrain,
                                   pool: IFNeuronPool) -> SpikeTrain:
@@ -142,139 +121,104 @@ class EventDrivenTTFSNetwork:
         """
         theta0 = self.config.theta0
         window = train.window
-        pool.add_bias(self._bias_shaped(spec, pool.shape))
+        pool.add_bias(executor.bias_shaped(spec))
         for t in range(window + 1):
             mask = train.mask_at(t)
             if mask.any():
                 decoded_step = mask * float(self.kernel.value(t)) * theta0
-                pool.integrate(self._affine_no_bias(spec, decoded_step))
+                pool.integrate(executor.affine(spec, decoded_step,
+                                               include_bias=False))
             pool.fire_step(t)
         return SpikeTrain(times=pool.fire_times.copy(), window=window)
-
-    @staticmethod
-    def _bias_shaped(spec: LayerSpec, shape) -> np.ndarray:
-        if spec.kind == "conv":
-            return spec.bias[None, :, None, None]
-        return spec.bias[None, :]
-
-    def _output_shape(self, spec: LayerSpec, in_shape) -> tuple:
-        if spec.kind == "conv":
-            n, _, h, w = in_shape
-            k, s, p = spec.kernel_size, spec.stride, spec.padding
-            oh = (h + 2 * p - k) // s + 1
-            ow = (w + 2 * p - k) // s + 1
-            return (n, spec.weight.shape[0], oh, ow)
-        return (in_shape[0], spec.weight.shape[0])
 
     # ------------------------------------------------------------------
     @staticmethod
     def _pool_times(spec: LayerSpec, train: SpikeTrain) -> SpikeTrain:
-        """Max-pool in the time domain: the earliest spike wins.
+        """Earliest-spike max pooling (kept as an alias of the engine's)."""
+        return executor.pool_times(spec, train)
 
-        Under TTFS coding the maximum value corresponds to the minimum
-        spike time, so spatial max-pooling is a windowed min over fire
-        times (NO_SPIKE treated as +inf).
-        """
-        times = train.times
-        n, c, h, w = times.shape
-        k, s = spec.kernel_size, spec.stride
-        oh = (h - k) // s + 1
-        ow = (w - k) // s + 1
-        big = np.where(times == NO_SPIKE, np.iinfo(np.int64).max, times)
-        sn, sc, sh, sw = big.strides
-        view = np.lib.stride_tricks.as_strided(
-            big, shape=(n, c, oh, ow, k, k),
-            strides=(sn, sc, sh * s, sw * s, sh, sw), writeable=False,
-        )
-        pooled = view.min(axis=(4, 5))
-        pooled = np.where(pooled == np.iinfo(np.int64).max, NO_SPIKE, pooled)
-        return SpikeTrain(pooled, train.window)
+    # ------------------------------------------------------------------
+    # CodingScheme hooks
+    # ------------------------------------------------------------------
+    def encode_input(self, images: np.ndarray,
+                     ctx: ExecutionContext) -> SpikeTrain:
+        cfg = self.config
+        train = encode_values(np.asarray(images, dtype=np.float64),
+                              self.kernel, cfg.window, cfg.theta0)
+        ctx.record(LayerTrace(name="input-encoder", input_spikes=0,
+                              output_spikes=train.num_spikes,
+                              neurons=train.num_neurons, sops=0))
+        return train
+
+    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
+                     ctx: ExecutionContext):
+        cfg = self.config
+        out_shape = executor.output_shape(spec, train.shape)
+        pool = IFNeuronPool(shape=out_shape, kernel=self.kernel,
+                            theta0=cfg.theta0)
+        in_spikes = train.num_spikes
+        sops = executor.layer_sops(spec, in_spikes)
+        name = f"{spec.kind}{ctx.weight_index}"
+
+        if spec.is_output:
+            self._integrate(spec, train, pool)
+            output = pool.membrane * self.snn.output_scale
+            ctx.record(LayerTrace(
+                name=name + "(out)", input_spikes=in_spikes, output_spikes=0,
+                neurons=int(np.prod(out_shape)), sops=sops,
+                membrane=output if self.record_membranes else None))
+            return output
+
+        if self.early_firing:
+            out_train = self._integrate_and_fire_early(spec, train, pool)
+        else:
+            self._integrate(spec, train, pool)
+            if self.mode == "timestep":
+                out_train = pool.run_fire_phase(cfg.window)
+            else:
+                out_train = pool.fire_closed_form(cfg.window)
+        ctx.record(LayerTrace(
+            name=name, input_spikes=in_spikes,
+            output_spikes=out_train.num_spikes,
+            neurons=int(np.prod(out_shape)), sops=sops,
+            membrane=pool.membrane.copy() if self.record_membranes else None))
+        return out_train
+
+    def finalize(self, output: np.ndarray,
+                 ctx: ExecutionContext) -> SimulationResult:
+        return SimulationResult(output=output, traces=ctx.traces,
+                                window=self.config.window,
+                                num_stages=self.snn.num_pipeline_stages,
+                                early_firing=self.early_firing)
+
+    def merge(self, results: List[SimulationResult]) -> SimulationResult:
+        return SimulationResult(
+            output=np.concatenate([r.output for r in results], axis=0),
+            traces=merge_traces([r.traces for r in results]),
+            window=results[0].window, num_stages=results[0].num_stages,
+            early_firing=results[0].early_firing)
 
     # ------------------------------------------------------------------
     def run(self, images: np.ndarray) -> SimulationResult:
         """Simulate the full pipeline on a batch of images."""
-        cfg = self.config
-        window = cfg.window
-        result = SimulationResult(output=np.empty(0), window=window,
-                                  num_stages=self.snn.num_pipeline_stages,
-                                  early_firing=self.early_firing)
+        return executor.run_pipeline(self, images)
 
-        # Stage 0: encode the input image into first spikes.
-        train = encode_values(np.asarray(images, dtype=np.float64),
-                              self.kernel, window, cfg.theta0)
-        result.traces.append(
-            LayerTrace(name="input-encoder", input_spikes=0,
-                       output_spikes=train.num_spikes,
-                       neurons=train.num_neurons, sops=0)
-        )
-
-        layer_idx = 0
-        for spec in self.snn.layers:
-            if spec.is_weight_layer:
-                out_shape = self._output_shape(spec, train.shape)
-                pool = IFNeuronPool(shape=out_shape, kernel=self.kernel,
-                                    theta0=cfg.theta0)
-                in_spikes = train.num_spikes
-                early_train = None
-                if self.early_firing and not spec.is_output:
-                    early_train = self._integrate_and_fire_early(spec, train,
-                                                                 pool)
-                else:
-                    self._integrate(spec, train, pool)
-                if spec.is_output:
-                    output = pool.membrane * self.snn.output_scale
-                    sops = in_spikes * (spec.weight.shape[0] if spec.kind == "linear"
-                                        else _conv_fanout(spec, out_shape[-1]))
-                    result.traces.append(
-                        LayerTrace(name=f"{spec.kind}{layer_idx}(out)",
-                                   input_spikes=in_spikes, output_spikes=0,
-                                   neurons=int(np.prod(out_shape)),
-                                   sops=sops,
-                                   membrane=output if self.record_membranes else None)
-                    )
-                    result.output = output
-                else:
-                    if early_train is not None:
-                        out_train = early_train
-                    elif self.mode == "timestep":
-                        out_train = pool.run_fire_phase(window)
-                    else:
-                        out_train = pool.fire_closed_form(window)
-                    sops = in_spikes * (spec.weight.shape[0] if spec.kind == "linear"
-                                        else _conv_fanout(spec, out_shape[-1]))
-                    result.traces.append(
-                        LayerTrace(name=f"{spec.kind}{layer_idx}",
-                                   input_spikes=in_spikes,
-                                   output_spikes=out_train.num_spikes,
-                                   neurons=int(np.prod(out_shape)),
-                                   sops=sops,
-                                   membrane=pool.membrane.copy()
-                                   if self.record_membranes else None)
-                    )
-                    train = out_train
-                layer_idx += 1
-            elif spec.kind == "maxpool":
-                train = self._pool_times(spec, train)
-            elif spec.kind == "avgpool":
-                # Average pooling has no exact single-spike representation;
-                # decode, pool in value domain, re-encode (documented loss).
-                from ..tensor import avg_pool2d
-
-                decoded = train.decode(self.kernel, cfg.theta0)
-                pooled = avg_pool2d(Tensor(decoded), spec.kernel_size,
-                                    spec.stride).data
-                train = encode_values(pooled, self.kernel, window, cfg.theta0)
-            elif spec.kind == "flatten":
-                train = train.reshape((train.shape[0], -1))
-        return result
-
-    # ------------------------------------------------------------------
     def accuracy(self, images: np.ndarray, labels: np.ndarray,
                  batch_size: int = 64) -> float:
-        correct = 0
-        for start in range(0, len(labels), batch_size):
-            res = self.run(images[start : start + batch_size])
-            correct += int(
-                (res.predictions() == labels[start : start + batch_size]).sum()
-            )
-        return correct / len(labels)
+        return PipelineRunner(self, max_batch=batch_size).accuracy(
+            images, labels)
+
+
+@register_scheme("ttfs-closed-form")
+def _make_closed_form(snn: ConvertedSNN, **options) -> EventDrivenTTFSNetwork:
+    return EventDrivenTTFSNetwork(snn, mode="closed_form", **options)
+
+
+@register_scheme("ttfs-timestep")
+def _make_timestep(snn: ConvertedSNN, **options) -> EventDrivenTTFSNetwork:
+    return EventDrivenTTFSNetwork(snn, mode="timestep", **options)
+
+
+@register_scheme("ttfs-early")
+def _make_early(snn: ConvertedSNN, **options) -> EventDrivenTTFSNetwork:
+    return EventDrivenTTFSNetwork(snn, early_firing=True, **options)

@@ -21,9 +21,10 @@ from typing import Tuple
 import numpy as np
 
 from ..cat.kernels import NO_SPIKE
+from ..engine.executor import FIRE_TOL, fire_times_from_membrane
 from .spikes import SpikeTrain
 
-_FIRE_TOL = 1e-9  # membranes exactly on-threshold fire (float guard)
+_FIRE_TOL = FIRE_TOL  # membranes exactly on-threshold fire (float guard)
 
 
 @dataclass
@@ -68,9 +69,19 @@ class IFNeuronPool:
         return fire
 
     def run_fire_phase(self, window: int) -> SpikeTrain:
-        """Sweep the threshold over the whole window (Eq. 2 + Eq. 6)."""
-        for t in range(window + 1):
-            self.fire_step(t)
+        """Sweep the threshold over the whole window (Eq. 2 + Eq. 6).
+
+        Vectorised through the engine's cumulative formulation: the
+        threshold decays monotonically, so the first crossing needs no
+        per-timestep Python loop.  Equivalent, spike for spike, to
+        calling :meth:`fire_step` for ``t = 0..window``.
+        """
+        fresh = self.fire_times == NO_SPIKE
+        swept = fire_times_from_membrane(self.membrane, self.kernel, window,
+                                         self.theta0)
+        fired = fresh & (swept != NO_SPIKE)
+        self.fire_times[fired] = swept[fired]
+        self.membrane[fired] = 0.0
         return SpikeTrain(times=self.fire_times.copy(), window=window)
 
     def fire_closed_form(self, window: int) -> SpikeTrain:

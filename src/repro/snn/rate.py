@@ -15,17 +15,29 @@ Semantics (standard IF rate conversion, reset-by-subtraction [5]):
   whenever its membrane crosses ``theta0``, subtracting the threshold;
 * a neuron's spike *count* over T steps approximates its ReLU activation
   scaled by T; the readout layer accumulates membrane without firing.
+
+Execution routes through the shared :mod:`repro.engine` walk.  The state
+carried between layers is the whole per-timestep signal (time axis
+leading), so each layer's affine map runs *once* over all T steps folded
+into the batch dimension — the timestep-by-timestep threshold dynamics,
+which are genuinely sequential, are the only remaining per-step loop.
+The layer-by-layer ordering is equivalent to the step-by-step one
+because a step's signal flows through the whole network within that
+step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..cat.convert import ConvertedSNN, LayerSpec
-from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
+from ..engine import executor
+from ..engine.executor import CodingScheme, ExecutionContext, LayerTrace
+from ..engine.registry import register_scheme
+from ..engine.runner import PipelineRunner
 
 
 @dataclass
@@ -50,7 +62,21 @@ class RateSimulationResult:
         return self.output.argmax(axis=1)
 
 
-class RateCodedNetwork:
+@dataclass
+class _RateSignal:
+    """Inter-layer state: the layer input signal for every timestep.
+
+    ``per_step`` is False while the signal is identical at every step
+    (true until the first firing layer — the input current is constant),
+    letting the affine map and pooling run once instead of T times.
+    When True, ``data`` has the time axis leading: ``(T, N, ...)``.
+    """
+
+    data: np.ndarray
+    per_step: bool = False
+
+
+class RateCodedNetwork(CodingScheme):
     """Run a :class:`ConvertedSNN`'s layers under rate coding.
 
     Reuses the converted (BN-fused) weights; the TTFS coding config is
@@ -58,6 +84,8 @@ class RateCodedNetwork:
     window plays: more steps = finer rate resolution = higher accuracy,
     but spike counts scale with it.
     """
+
+    scheme_name = "rate"
 
     def __init__(self, snn: ConvertedSNN, timesteps: int = 32):
         if timesteps < 1:
@@ -67,67 +95,99 @@ class RateCodedNetwork:
         self.theta0 = snn.config.theta0
 
     # ------------------------------------------------------------------
-    def _affine(self, spec: LayerSpec, x: np.ndarray) -> np.ndarray:
-        if spec.kind == "conv":
-            return conv2d_op(Tensor(x), Tensor(spec.weight),
-                             Tensor(spec.bias), spec.stride,
-                             spec.padding).data.astype(np.float64)
-        return (x @ spec.weight.T + spec.bias).astype(np.float64)
+    @staticmethod
+    def _map_steps(op, data: np.ndarray) -> np.ndarray:
+        """Apply a batch op to per-step data by folding T into the batch."""
+        t, n = data.shape[:2]
+        out = op(data.reshape((t * n,) + data.shape[2:]))
+        return out.reshape((t, n) + out.shape[1:])
 
-    def run(self, images: np.ndarray) -> RateSimulationResult:
-        """Simulate T timesteps of the whole network."""
+    def _fold(self, spec: LayerSpec, signal: _RateSignal) -> np.ndarray:
+        """Per-step pre-activations ``z`` with the time axis leading."""
+        if not signal.per_step:
+            z = executor.affine(spec, signal.data)
+            return np.broadcast_to(z, (self.timesteps,) + z.shape)
+        return self._map_steps(lambda x: executor.affine(spec, x),
+                               signal.data)
+
+    # ------------------------------------------------------------------
+    # CodingScheme hooks
+    # ------------------------------------------------------------------
+    def encode_input(self, images: np.ndarray,
+                     ctx: ExecutionContext) -> _RateSignal:
+        # constant input current each step (rate ~ pixel value)
+        return _RateSignal(np.asarray(images, dtype=np.float64),
+                           per_step=False)
+
+    def weight_layer(self, spec: LayerSpec, signal: _RateSignal,
+                     ctx: ExecutionContext):
         theta = self.theta0
-        steps = self.timesteps
-        x = np.asarray(images, dtype=np.float64)
+        z = self._fold(spec, signal)
+        if spec.is_output:
+            # readout accumulates membrane without firing
+            return z.sum(axis=0)
 
-        # Per-layer persistent state: membrane potential.
-        membranes: List[Optional[np.ndarray]] = [None] * len(self.snn.layers)
-        spike_counts = [0] * len(self.snn.layers)
-        neuron_counts = [0] * len(self.snn.layers)
-        readout = None
+        membrane = np.zeros(z.shape[1:], dtype=np.float64)
+        fires = np.empty(z.shape, dtype=np.float64)
+        spikes = 0
+        for t in range(self.timesteps):
+            membrane += z[t]
+            fire = membrane >= theta
+            membrane -= theta * fire  # reset by subtraction
+            spikes += int(fire.sum())
+            fires[t] = fire
+        ctx.record(LayerTrace(
+            name=f"{spec.kind}{ctx.weight_index}", input_spikes=0,
+            output_spikes=spikes, neurons=int(membrane.size), sops=0))
+        return _RateSignal(fires * theta, per_step=True)
 
-        for _ in range(steps):
-            signal = x  # input current each step (rate ~ pixel value)
-            for li, spec in enumerate(self.snn.layers):
-                if spec.is_weight_layer:
-                    z = self._affine(spec, signal)
-                    if membranes[li] is None:
-                        membranes[li] = np.zeros_like(z)
-                    membranes[li] += z
-                    if spec.is_output:
-                        readout = membranes[li]
-                        signal = None
-                        break
-                    fire = membranes[li] >= theta
-                    membranes[li] -= theta * fire  # reset by subtraction
-                    spike_counts[li] += int(fire.sum())
-                    neuron_counts[li] = fire.size
-                    signal = fire.astype(np.float64) * theta
-                elif spec.kind == "maxpool":
-                    signal = max_pool2d(Tensor(signal), spec.kernel_size,
-                                        spec.stride).data
-                elif spec.kind == "avgpool":
-                    signal = avg_pool2d(Tensor(signal), spec.kernel_size,
-                                        spec.stride).data
-                elif spec.kind == "flatten":
-                    signal = signal.reshape(len(signal), -1)
+    def pool(self, spec: LayerSpec, signal: _RateSignal,
+             ctx: ExecutionContext) -> _RateSignal:
+        if not signal.per_step:
+            return _RateSignal(executor.pool_values(spec, signal.data),
+                               per_step=False)
+        pooled = self._map_steps(lambda x: executor.pool_values(spec, x),
+                                 signal.data)
+        return _RateSignal(pooled, per_step=True)
 
-        output = (readout / steps) * self.snn.output_scale
-        kept = [i for i, spec in enumerate(self.snn.layers)
-                if spec.is_weight_layer and not spec.is_output]
+    def flatten(self, signal: _RateSignal,
+                ctx: ExecutionContext) -> _RateSignal:
+        lead = 2 if signal.per_step else 1
+        shape = signal.data.shape[:lead] + (-1,)
+        return _RateSignal(signal.data.reshape(shape), signal.per_step)
+
+    def finalize(self, readout: np.ndarray,
+                 ctx: ExecutionContext) -> RateSimulationResult:
+        output = (readout / self.timesteps) * self.snn.output_scale
         return RateSimulationResult(
             output=output,
-            timesteps=steps,
-            spikes_per_layer=[spike_counts[i] for i in kept],
-            neurons_per_layer=[neuron_counts[i] for i in kept],
+            timesteps=self.timesteps,
+            spikes_per_layer=[t.output_spikes for t in ctx.traces],
+            neurons_per_layer=[t.neurons for t in ctx.traces],
         )
+
+    def merge(self, results: List[RateSimulationResult]
+              ) -> RateSimulationResult:
+        return RateSimulationResult(
+            output=np.concatenate([r.output for r in results], axis=0),
+            timesteps=results[0].timesteps,
+            spikes_per_layer=[sum(col) for col in
+                              zip(*(r.spikes_per_layer for r in results))],
+            neurons_per_layer=[sum(col) for col in
+                               zip(*(r.neurons_per_layer for r in results))],
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, images: np.ndarray) -> RateSimulationResult:
+        """Simulate T timesteps of the whole network."""
+        return executor.run_pipeline(self, images)
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray,
                  batch_size: int = 64) -> float:
-        correct = 0
-        for start in range(0, len(labels), batch_size):
-            res = self.run(images[start : start + batch_size])
-            correct += int(
-                (res.predictions() == labels[start : start + batch_size]).sum()
-            )
-        return correct / len(labels)
+        return PipelineRunner(self, max_batch=batch_size).accuracy(
+            images, labels)
+
+
+@register_scheme("rate")
+def _make_rate(snn: ConvertedSNN, **options) -> RateCodedNetwork:
+    return RateCodedNetwork(snn, **options)

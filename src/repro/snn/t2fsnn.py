@@ -29,8 +29,8 @@ from scipy import optimize
 from ..cat.convert import ConvertedSNN, LayerSpec, extract_layer_specs
 from ..cat.kernels import ExpKernel
 from ..cat.schedule import CATConfig
+from ..engine.executor import run_value_pipeline
 from ..nn.vgg import VGG
-from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
 
 
 @dataclass(frozen=True)
@@ -102,29 +102,20 @@ def normalize_weights_layerwise(specs: List[LayerSpec],
     per-layer lambdas (for analysis).
     """
     # Pass 1: record each weight layer's max activation on the *original*
-    # network (lambda_l, with lambda_0 = input max).
+    # network (lambda_l, with lambda_0 = input max), via the engine's
+    # value-domain walk with a recording ReLU.
     x = np.asarray(calibration, dtype=np.float64)
     input_lambda = max(float(x.max()), 1e-12)
     x = x / input_lambda
     lambdas: List[float] = []
     maxima: List[float] = []
-    for spec in specs:
-        if spec.kind == "conv":
-            x = conv2d_op(Tensor(x), Tensor(spec.weight), Tensor(spec.bias),
-                          spec.stride, spec.padding).data
-        elif spec.kind == "linear":
-            x = x @ spec.weight.T + spec.bias
-        elif spec.kind == "maxpool":
-            x = max_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-            continue
-        elif spec.kind == "avgpool":
-            x = avg_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-            continue
-        else:  # flatten
-            x = x.reshape(len(x), -1)
-            continue
-        maxima.append(max(float(x.max()), 1e-12))
-        x = np.maximum(x, 0.0)
+
+    def _record_relu(_wi: int, z: np.ndarray) -> np.ndarray:
+        maxima.append(max(float(z.max()), 1e-12))
+        return np.maximum(z, 0.0)
+
+    run_value_pipeline(specs, x, hidden=_record_relu,
+                       output=lambda z: _record_relu(-1, z))
 
     # Pass 2: classic rescaling W_l <- W_l * lambda_{l-1} / lambda_l,
     # b_l <- b_l / lambda_l, which maps every layer's activation to
@@ -190,25 +181,10 @@ class T2FSNNModel:
         x = np.asarray(x, dtype=np.float64)
         x = x / max(float(x.max()), 1e-12)
         x = _quantize_exp(x, self.input_kernel, cfg.window, cfg.theta0)
-        wi = 0
-        for spec in self.layers:
-            if spec.is_weight_layer:
-                if spec.kind == "conv":
-                    x = conv2d_op(Tensor(x), Tensor(spec.weight), Tensor(spec.bias),
-                                  spec.stride, spec.padding).data
-                else:
-                    x = x @ spec.weight.T + spec.bias
-                if not spec.is_output:
-                    x = _quantize_exp(np.maximum(x, 0.0), self.kernels[wi],
-                                      cfg.window, cfg.theta0)
-                wi += 1
-            elif spec.kind == "maxpool":
-                x = max_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-            elif spec.kind == "avgpool":
-                x = avg_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-            elif spec.kind == "flatten":
-                x = x.reshape(len(x), -1)
-        return x
+        return run_value_pipeline(
+            self.layers, x,
+            hidden=lambda wi, z: _quantize_exp(
+                np.maximum(z, 0.0), self.kernels[wi], cfg.window, cfg.theta0))
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray,
                  batch_size: int = 256) -> float:
@@ -239,25 +215,13 @@ def _tune_kernels(snn: T2FSNNModel, calibration: np.ndarray) -> None:
     x = np.asarray(calibration, dtype=np.float64)
     x = x / max(float(x.max()), 1e-12)
     x = _quantize_exp(x, snn.input_kernel, cfg.window, cfg.theta0)
-    wi = 0
-    for spec in snn.layers:
-        if spec.is_weight_layer:
-            if spec.kind == "conv":
-                x = conv2d_op(Tensor(x), Tensor(spec.weight), Tensor(spec.bias),
-                              spec.stride, spec.padding).data
-            else:
-                x = x @ spec.weight.T + spec.bias
-            if not spec.is_output:
-                acts = np.maximum(x, 0.0)
-                snn.kernels[wi] = optimize_layer_kernel(
-                    acts, cfg.window, cfg.theta0, snn.kernels[wi],
-                    iters=cfg.optimizer_iters,
-                )
-                x = _quantize_exp(acts, snn.kernels[wi], cfg.window, cfg.theta0)
-            wi += 1
-        elif spec.kind == "maxpool":
-            x = max_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-        elif spec.kind == "avgpool":
-            x = avg_pool2d(Tensor(x), spec.kernel_size, spec.stride).data
-        elif spec.kind == "flatten":
-            x = x.reshape(len(x), -1)
+
+    def _tune_then_quantize(wi: int, z: np.ndarray) -> np.ndarray:
+        acts = np.maximum(z, 0.0)
+        snn.kernels[wi] = optimize_layer_kernel(
+            acts, cfg.window, cfg.theta0, snn.kernels[wi],
+            iters=cfg.optimizer_iters,
+        )
+        return _quantize_exp(acts, snn.kernels[wi], cfg.window, cfg.theta0)
+
+    run_value_pipeline(snn.layers, x, hidden=_tune_then_quantize)

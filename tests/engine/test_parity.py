@@ -1,0 +1,92 @@
+"""Cross-scheme parity: every stack walks the same engine, same answers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import available_schemes, create_scheme, get_scheme
+from repro.snn import EventDrivenTTFSNetwork, RateCodedNetwork
+
+
+class TestSchemeParity:
+    """closed-form, timestep and the engine runner must agree exactly."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, converted_micro, tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        closed = create_scheme("ttfs-closed-form", converted_micro).run(x)
+        stepped = create_scheme("ttfs-timestep", converted_micro).run(x)
+        return closed, stepped, converted_micro, x
+
+    def test_outputs_agree(self, runs):
+        closed, stepped, _, _ = runs
+        assert np.allclose(closed.output, stepped.output, atol=1e-5)
+
+    def test_predictions_agree(self, runs):
+        closed, stepped, _, _ = runs
+        assert np.array_equal(closed.predictions(), stepped.predictions())
+
+    def test_spike_counts_agree(self, runs):
+        closed, stepped, _, _ = runs
+        assert closed.total_spikes == stepped.total_spikes
+        for tc, ts in zip(closed.traces, stepped.traces):
+            assert (tc.name, tc.output_spikes, tc.sops) == \
+                   (ts.name, ts.output_spikes, ts.sops)
+
+    def test_value_domain_agrees(self, runs):
+        closed, _, snn, x = runs
+        assert np.allclose(closed.output, snn.forward_value(x), atol=1e-5)
+
+    def test_registry_factories_match_classes(self, converted_micro):
+        assert isinstance(get_scheme("ttfs-closed-form")(converted_micro),
+                          EventDrivenTTFSNetwork)
+        assert isinstance(get_scheme("rate")(converted_micro),
+                          RateCodedNetwork)
+        early = create_scheme("ttfs-early", converted_micro)
+        assert early.early_firing
+
+
+class TestRegistry:
+    def test_builtins_listed(self):
+        names = available_schemes()
+        for name in ("ttfs-closed-form", "ttfs-timestep", "ttfs-early",
+                     "rate", "fixed-point"):
+            assert name in names
+
+    def test_unknown_scheme_raises(self, converted_micro):
+        with pytest.raises(KeyError, match="unknown coding scheme"):
+            create_scheme("morse-code", converted_micro)
+
+    def test_custom_scheme_registration(self, converted_micro):
+        from repro.engine import register_scheme
+        from repro.engine.registry import _FACTORIES
+
+        @register_scheme("test-dummy")
+        def _make(snn, **kw):
+            return ("dummy", snn)
+
+        try:
+            assert "test-dummy" in available_schemes()
+            assert create_scheme("test-dummy", converted_micro)[0] == "dummy"
+        finally:
+            _FACTORIES.pop("test-dummy", None)
+
+
+class TestFireSweepVectorisation:
+    """The cumulative fire formulation equals the per-timestep loop."""
+
+    def test_matches_explicit_loop(self, rng):
+        from repro.cat import NO_SPIKE, Base2Kernel
+        from repro.engine import FIRE_TOL, fire_times_from_membrane
+
+        kernel = Base2Kernel(tau=4.0)
+        window = 24
+        membrane = rng.normal(0.0, 1.0, size=(257,))
+        # grid-exact values exercise the on-threshold tolerance branch
+        membrane[:window + 1] = kernel.grid(window)
+        got = fire_times_from_membrane(membrane, kernel, window)
+        want = np.full(membrane.shape, NO_SPIKE, dtype=np.int64)
+        for t in range(window + 1):
+            thr = float(kernel.value(t))
+            fire = (membrane >= thr - FIRE_TOL) & (want == NO_SPIKE)
+            want[fire] = t
+        assert np.array_equal(got, want)
