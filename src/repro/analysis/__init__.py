@@ -8,7 +8,13 @@ from .metrics import (
     latency_timesteps,
     monotonically_improves,
 )
-from .reporting import ascii_bars, format_series, format_table, paper_vs_measured
+from .reporting import (
+    ascii_bars,
+    format_series,
+    format_sweep_report,
+    format_table,
+    paper_vs_measured,
+)
 
 __all__ = [
     "paper",
@@ -19,6 +25,7 @@ __all__ = [
     "monotonically_improves",
     "ascii_bars",
     "format_series",
+    "format_sweep_report",
     "format_table",
     "paper_vs_measured",
 ]

@@ -58,6 +58,30 @@ def ascii_bars(values: Dict[str, float], width: int = 40,
     return "\n".join(lines)
 
 
+def format_sweep_report(report: dict) -> str:
+    """Render a ``repro.engine.sweep`` report dict as an aligned table.
+
+    Consumes the machine-readable report produced by
+    :func:`repro.engine.sweep.run_sweep` (and persisted by
+    ``repro evaluate --report``); one row per grid point.
+    """
+    headers = ["scheme", "T", "batch", "acc", "spikes", "SOPs",
+               "time (s)", "cache h/m"]
+    rows = []
+    for p in report.get("points", []):
+        rows.append([
+            p.get("scheme", "?"), p.get("window"), p.get("max_batch"),
+            p.get("accuracy"), p.get("total_spikes"), p.get("total_sops"),
+            p.get("elapsed_s"),
+            f"{p.get('cache_hits', 0)}/{p.get('cache_misses', 0)}",
+        ])
+    totals = report.get("cache", {})
+    title = (f"sweep over {report.get('num_images', '?')} images "
+             f"({report.get('workers', 1)} worker(s), cache "
+             f"{totals.get('hits', 0)} hit / {totals.get('misses', 0)} miss)")
+    return format_table(headers, rows, title=title)
+
+
 def paper_vs_measured(rows: List[dict], keys: Sequence[str]) -> str:
     """Standard benchmark epilogue: paper value vs our measurement."""
     headers = ["metric", "paper", "measured", "ratio"]

@@ -9,7 +9,9 @@ Fast, self-contained entry points into the reproduction:
 * ``train``  — run a small CAT training + conversion demo (~1 min);
 * ``latency``— TTFS pipeline latency calculator (Table 2 formula);
 * ``simulate``— train a small model, then run it through any registered
-  coding scheme with the batched engine runner.
+  coding scheme with the batched engine runner;
+* ``evaluate``— sweep scheme x max-timestep x batch grids through the
+  process-parallel, result-cached runner and emit a JSON report.
 
 The full table/figure regeneration lives in ``benchmarks/`` (pytest).
 """
@@ -140,13 +142,34 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _train_micro_snn(dataset, window: int, tau: float, epochs: int,
+                     seed: int):
+    """Train + convert the micro VGG used by ``simulate``/``evaluate``."""
+    from .cat import CATConfig, convert, train_cat
+    from .nn import init as nninit, vgg_micro
+
+    nninit.seed(seed)
+    size = dataset.image_shape[-1]
+    model = vgg_micro(num_classes=dataset.num_classes, input_size=size)
+    config = CATConfig(
+        window=window, tau=tau, method="I+II+III",
+        epochs=epochs, relu_epochs=1,
+        ttfs_epoch=max(1, int(epochs * 0.85)),
+        milestones=tuple(max(1, int(epochs * f))
+                         for f in (0.4, 0.6, 0.8)),
+        batch_size=40, augment=False, seed=seed,
+    )
+    print(f"training vgg_micro on {dataset.name} "
+          f"(T={window}, tau={tau:g}, {epochs} epochs)")
+    train_cat(model, dataset, config)
+    return convert(model, config, calibration=dataset.train_x[:64])
+
+
 def _cmd_simulate(args) -> int:
     import time
 
-    from .cat import CATConfig, convert, train_cat
     from .data import load
     from .engine import PipelineRunner, create_scheme, result_predictions
-    from .nn import init as nninit, vgg_micro
 
     if args.max_batch < 1:
         print("repro simulate: error: --max-batch must be >= 1",
@@ -154,21 +177,8 @@ def _cmd_simulate(args) -> int:
         return 2
 
     dataset = load(args.dataset)
-    nninit.seed(args.seed)
-    size = dataset.image_shape[-1]
-    model = vgg_micro(num_classes=dataset.num_classes, input_size=size)
-    config = CATConfig(
-        window=args.window, tau=args.tau, method="I+II+III",
-        epochs=args.epochs, relu_epochs=1,
-        ttfs_epoch=max(1, int(args.epochs * 0.85)),
-        milestones=tuple(max(1, int(args.epochs * f))
-                         for f in (0.4, 0.6, 0.8)),
-        batch_size=40, augment=False, seed=args.seed,
-    )
-    print(f"training vgg_micro on {dataset.name} "
-          f"(T={args.window}, tau={args.tau:g}, {args.epochs} epochs)")
-    train_cat(model, dataset, config)
-    snn = convert(model, config, calibration=dataset.train_x[:64])
+    snn = _train_micro_snn(dataset, args.window, args.tau, args.epochs,
+                           args.seed)
 
     scheme = create_scheme(args.scheme, snn)
     runner = PipelineRunner(scheme, max_batch=args.max_batch)
@@ -192,6 +202,68 @@ def _cmd_simulate(args) -> int:
         if value is not None:
             print(f"{label}: {value:.4f}" if isinstance(value, float)
                   else f"{label}: {value}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    import json
+    import pathlib
+
+    from .analysis import format_sweep_report
+    from .data import load
+    from .engine import ResultCache, SweepGrid, available_schemes, run_sweep
+
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        if args.limit < 0:
+            raise ValueError("--limit must be >= 0")
+        if args.report:
+            # fail (or create the directory) now, not after the sweep
+            pathlib.Path(args.report).parent.mkdir(parents=True,
+                                                   exist_ok=True)
+        schemes = tuple(s for s in
+                        (p.strip() for p in args.schemes.split(",")) if s)
+        unknown = [s for s in schemes if s not in available_schemes()]
+        if unknown:
+            raise ValueError(
+                f"unknown scheme(s) {', '.join(unknown)}; available: "
+                f"{', '.join(available_schemes())}")
+        grid = SweepGrid(
+            schemes=schemes,
+            windows=tuple(int(w) for w in args.windows.split(",")),
+            max_batches=tuple(int(b) for b in args.max_batches.split(",")),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro evaluate: error: {exc}", file=sys.stderr)
+        return 2
+
+    dataset = load(args.dataset)
+    snn = _train_micro_snn(dataset, max(grid.windows), args.tau,
+                           args.epochs, args.seed)
+    x, y = dataset.test_x, dataset.test_y
+    if args.limit:
+        x, y = x[:args.limit], y[:args.limit]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    print(f"sweeping {len(grid.points())} grid point(s) over {len(x)} "
+          f"images ({args.workers} worker(s), cache "
+          f"{'at ' + args.cache_dir if cache is not None else 'off'})")
+
+    def progress(rec):
+        print(f"  {rec['scheme']:>18s} T={rec['window']:<3d} "
+              f"batch={rec['max_batch']:<3d} acc={rec['accuracy']:.3f} "
+              f"{rec['elapsed_s']:.2f}s "
+              f"(cache {rec['cache_hits']}h/{rec['cache_misses']}m)")
+
+    report = run_sweep(snn, grid, x, y, cache=cache, workers=args.workers,
+                       progress=progress)
+    print()
+    print(format_sweep_report(report))
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nreport written to {path}")
     return 0
 
 
@@ -247,6 +319,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "evaluate",
+        help="sweep scheme x window x batch grids with the cached "
+             "parallel runner")
+    p.add_argument("--schemes", default="ttfs-closed-form,rate",
+                   help="comma-separated registered scheme names")
+    p.add_argument("--windows", default="8",
+                   help="comma-separated max timesteps (coding windows)")
+    p.add_argument("--max-batches", default="32",
+                   help="comma-separated chunk sizes")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset (see repro.data.available())")
+    p.add_argument("--limit", type=int, default=0,
+                   help="cap the number of test images (0 = all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for chunk sharding")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (repeat sweeps hit it)")
+    p.add_argument("--report", default=None,
+                   help="write the machine-readable JSON report here")
+    p.add_argument("--tau", type=float, default=2.0)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_evaluate)
 
     return parser
 

@@ -3,7 +3,10 @@
 ``executor``  — the shared per-layer primitives and the walk itself;
 ``runner``    — batched/chunked execution with aggregated statistics;
 ``registry``  — pluggable coding schemes (``ttfs-closed-form``,
-``ttfs-timestep``, ``ttfs-early``, ``rate``, ``fixed-point``, ...).
+``ttfs-timestep``, ``ttfs-early``, ``rate``, ``fixed-point``, ...);
+``parallel``  — process-parallel sharding of the runner's chunks;
+``cache``     — content-addressed on-disk store of chunk results;
+``sweep``     — scheme x max-timestep x batch experiment orchestration.
 
 See ``docs/engine.md`` for the architecture note and how to add a new
 coding scheme.
@@ -27,13 +30,22 @@ from .executor import (
     run_pipeline,
     run_value_pipeline,
 )
+from .cache import ResultCache, digest, run_key, scheme_digest
+from .parallel import ParallelRunner, SchemeSpec
 from .registry import (
     available_schemes,
     create_scheme,
     get_scheme,
     register_scheme,
 )
-from .runner import PipelineRunner, merge_traces, result_predictions
+from .runner import (
+    PipelineRunner,
+    chunk_bounds,
+    merge_traces,
+    result_predictions,
+    streamed_accuracy,
+)
+from .sweep import SweepGrid, SweepPoint, run_sweep, spec_for_point, variant_snn
 
 __all__ = [
     "FIRE_TOL",
@@ -57,6 +69,19 @@ __all__ = [
     "get_scheme",
     "register_scheme",
     "PipelineRunner",
+    "chunk_bounds",
     "merge_traces",
     "result_predictions",
+    "streamed_accuracy",
+    "ParallelRunner",
+    "SchemeSpec",
+    "ResultCache",
+    "digest",
+    "run_key",
+    "scheme_digest",
+    "SweepGrid",
+    "SweepPoint",
+    "run_sweep",
+    "spec_for_point",
+    "variant_snn",
 ]

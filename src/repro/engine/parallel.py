@@ -1,0 +1,219 @@
+"""Process-parallel sharded execution of pipeline chunks.
+
+:class:`~repro.engine.runner.PipelineRunner` bounds memory by chunking a
+batch, but runs the chunks serially on one core.  The chunks are
+independent by construction — each is a pure function of (weights,
+scheme config, images) — so :class:`ParallelRunner` shards them across a
+``multiprocessing`` pool instead.
+
+Coding schemes hold live state a worker cannot share (e.g. the
+fixed-point scheme keys its quantised weights by ``id(spec)``), so the
+pool does not ship scheme objects.  Each worker receives one picklable
+:class:`SchemeSpec` — (scheme name, converted network, factory options)
+— and rebuilds the scheme through the registry at start-up; tasks then
+carry only the image chunks and results.  Chunk boundaries come from the
+same :func:`~repro.engine.runner.chunk_bounds` the serial runner uses
+and results fold through the same ``scheme.merge``/``merge_traces``, so
+parallel execution is bit-identical to serial (asserted by
+``tests/engine/test_parallel_parity.py``).
+
+An optional :class:`~repro.engine.cache.ResultCache` short-circuits
+chunks whose (weights, config, inputs) digest has been executed before;
+only cache misses reach the pool.
+
+The usual :mod:`multiprocessing` caveat applies on platforms without
+``fork`` (the ``spawn`` start method re-imports the main module):
+scripts driving a ``ParallelRunner`` need the standard
+``if __name__ == "__main__":`` guard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .cache import ResultCache, run_key, scheme_digest
+from .registry import create_scheme
+from .runner import chunk_bounds, streamed_accuracy
+
+
+@dataclass
+class SchemeSpec:
+    """Picklable recipe for rebuilding a coding scheme in any process.
+
+    ``build()`` goes through the registry, so every registered scheme —
+    builtin or plugin — can run under the parallel runner without being
+    picklable itself.
+    """
+
+    name: str
+    snn: Any
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self):
+        return create_scheme(self.name, self.snn, **self.options)
+
+
+# Per-worker scheme instance, built once by the pool initializer.
+_WORKER_SCHEME = None
+
+
+def _init_worker(spec: SchemeSpec) -> None:
+    global _WORKER_SCHEME
+    _WORKER_SCHEME = spec.build()
+
+
+def _run_chunk(chunk: np.ndarray):
+    return _WORKER_SCHEME.run(chunk)
+
+
+
+
+class ParallelRunner:
+    """Run a coding scheme over ``max_batch`` chunks on a worker pool.
+
+    Mirrors :class:`~repro.engine.runner.PipelineRunner`'s interface
+    (``stream`` / ``run`` / ``accuracy``) and its chunking exactly.
+    ``workers=1`` degrades to in-process execution (no pool); higher
+    counts fan the chunks out with ``Pool.map``, which preserves chunk
+    order.  The pool is created lazily on first use and reused across
+    calls; use the runner as a context manager (or call ``close``) to
+    release the workers deterministically.  ``max_batch`` may be
+    reassigned between calls (chunking is read per call) — the sweep
+    orchestrator does this to keep one warm pool across a batch axis.
+    """
+
+    def __init__(self, spec: SchemeSpec, max_batch: int = 64,
+                 workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 start_method: Optional[str] = None):
+        if not isinstance(spec, SchemeSpec):
+            raise TypeError(
+                "ParallelRunner takes a SchemeSpec (workers rebuild the "
+                "scheme), not a live scheme instance; wrap it as "
+                "SchemeSpec(name, snn, options)")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.max_batch = max_batch
+        self.workers = workers
+        self.cache = cache
+        # None = the interpreter's platform default (fork on Linux up to
+        # 3.13, forkserver/spawn where fork-with-threads is hazardous).
+        # Pass start_method= explicitly to override, e.g. "spawn" on a
+        # heavily threaded host.
+        self.start_method = start_method
+        self._scheme = None      # parent-side instance: merge + serial path
+        self._scheme_key: Optional[str] = None
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self):
+        if self._scheme is None:
+            self._scheme = self.spec.build()
+        return self._scheme
+
+    @property
+    def scheme_key(self) -> str:
+        """Content digest of the scheme (memoised; hashes the weights)."""
+        if self._scheme_key is None:
+            self._scheme_key = scheme_digest(self.spec.name, self.spec.snn,
+                                             self.spec.options)
+        return self._scheme_key
+
+    def chunk_bounds(self, n: int) -> Iterator[tuple]:
+        return chunk_bounds(n, self.max_batch)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(self.workers, initializer=_init_worker,
+                                  initargs=(self.spec,))
+        return self._pool
+
+    def _execute(self, chunks: List[np.ndarray]) -> List[Any]:
+        """Run cache-missed chunks, parallel when it can pay off."""
+        if not chunks:
+            return []
+        if self.workers == 1 or len(chunks) == 1:
+            return [self.scheme.run(chunk) for chunk in chunks]
+        return self._ensure_pool().map(_run_chunk, chunks)
+
+    # ------------------------------------------------------------------
+    def stream(self, images: np.ndarray) -> Iterator[Any]:
+        """Yield one scheme result per chunk, in chunk order.
+
+        Unlike the serial runner's lazy generator this executes the whole
+        batch up front (the pool wants all misses at once), then yields.
+        """
+        images = np.asarray(images)
+        bounds = list(self.chunk_bounds(len(images)))
+        results: List[Optional[Any]] = [None] * len(bounds)
+        miss_idx: List[int] = []
+        miss_keys: List[Optional[str]] = []
+        for i, (start, stop) in enumerate(bounds):
+            chunk = images[start:stop]
+            if self.cache is not None:
+                key = run_key(self.scheme_key, chunk)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+                miss_keys.append(key)
+            else:
+                miss_keys.append(None)
+            miss_idx.append(i)
+        computed = self._execute([images[slice(*bounds[i])]
+                                  for i in miss_idx])
+        for i, key, result in zip(miss_idx, miss_keys, computed):
+            results[i] = result
+            if self.cache is not None and key is not None:
+                self.cache.put(key, result)
+        yield from results
+
+    def run(self, images: np.ndarray) -> Any:
+        """Simulate the whole batch; returns one aggregated result."""
+        results = list(self.stream(images))
+        if not results:
+            raise ValueError("empty image batch")
+        if len(results) == 1:
+            return results[0]
+        return self.scheme.merge(results)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy over the sharded (and possibly cached) stream."""
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        return streamed_accuracy(self.stream(images),
+                                 self.chunk_bounds(len(images)),
+                                 images, labels)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

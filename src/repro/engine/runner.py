@@ -18,6 +18,17 @@ import numpy as np
 from .executor import CodingScheme, LayerTrace
 
 
+def chunk_bounds(n: int, max_batch: int) -> Iterator[tuple]:
+    """(start, stop) bounds splitting ``n`` items into ``max_batch`` runs.
+
+    Shared by the serial :class:`PipelineRunner` and the process-parallel
+    :class:`~repro.engine.parallel.ParallelRunner` so both shard a batch
+    identically (a prerequisite for bit-identical results).
+    """
+    for start in range(0, n, max_batch):
+        yield start, min(start + max_batch, n)
+
+
 def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
     """Fold per-chunk layer traces into whole-batch totals.
 
@@ -71,8 +82,7 @@ class PipelineRunner:
 
     # ------------------------------------------------------------------
     def chunk_bounds(self, n: int) -> Iterator[tuple]:
-        for start in range(0, n, self.max_batch):
-            yield start, min(start + self.max_batch, n)
+        return chunk_bounds(n, self.max_batch)
 
     def stream(self, images: np.ndarray) -> Iterator[Any]:
         """Yield one scheme result per ``max_batch`` chunk, in order."""
@@ -92,10 +102,28 @@ class PipelineRunner:
     # ------------------------------------------------------------------
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Top-1 accuracy, streamed chunk by chunk (constant memory)."""
-        labels = np.asarray(labels)
-        correct = 0
         images = np.asarray(images)
-        for start, stop in self.chunk_bounds(len(images)):
-            preds = result_predictions(self.scheme.run(images[start:stop]))
-            correct += int((preds == labels[start:stop]).sum())
-        return correct / len(labels)
+        labels = np.asarray(labels)
+        return streamed_accuracy(self.stream(images),
+                                 self.chunk_bounds(len(images)),
+                                 images, labels)
+
+
+def streamed_accuracy(results: Iterator[Any], bounds: Iterator[tuple],
+                      images: np.ndarray, labels: np.ndarray) -> float:
+    """Fold per-chunk results into top-1 accuracy against ``labels``.
+
+    One implementation under every runner's ``accuracy``: the serial and
+    parallel runners both hand their ``stream`` here instead of re-running
+    the scheme with a private chunk loop.
+    """
+    if len(images) != len(labels):
+        raise ValueError(
+            f"got {len(images)} images but {len(labels)} labels")
+    if len(labels) == 0:
+        raise ValueError("empty image batch")
+    correct = 0
+    for (start, stop), result in zip(bounds, results):
+        preds = result_predictions(result)
+        correct += int((preds == labels[start:stop]).sum())
+    return correct / len(labels)

@@ -1,0 +1,226 @@
+"""Property tests for the content-addressed result cache.
+
+The cache key must be a function of the *logical* content of (weights,
+config, inputs): invariant under array memory layout (C/F order, views,
+copies), sensitive to every value/dtype/shape perturbation, and the
+store must round-trip results losslessly.  Hypothesis hunts the corner
+cases; ``derandomize`` keeps the suite reproducible under any test
+ordering (``-p no:randomly``-safe).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.engine import ResultCache, digest, run_key, scheme_digest
+from repro.engine.cache import decode_result, encode_result
+from repro.engine.executor import LayerTrace
+from repro.snn.network import SimulationResult
+
+SETTINGS = settings(derandomize=True, max_examples=30, deadline=None,
+                    suppress_health_check=[
+                        HealthCheck.function_scoped_fixture])
+
+_shapes = hnp.array_shapes(min_dims=1, max_dims=3, max_side=5)
+arrays = st.one_of(
+    hnp.arrays(dtype=st.sampled_from([np.float64, np.float32]),
+               shape=_shapes,
+               elements=st.floats(-100, 100, width=16).map(float)),
+    hnp.arrays(dtype=np.int64, shape=_shapes,
+               elements=st.integers(-1000, 1000)),
+)
+
+
+class TestDigestLayoutInvariance:
+    @SETTINGS
+    @given(arr=arrays)
+    def test_c_and_f_contiguous_collide(self, arr):
+        assert digest(arr) == digest(np.asfortranarray(arr))
+        assert digest(arr) == digest(arr.copy(order="F"))
+        assert digest(arr) == digest(np.ascontiguousarray(arr))
+
+    @SETTINGS
+    @given(arr=arrays)
+    def test_views_collide_with_copies(self, arr):
+        padded = np.zeros((arr.shape[0] + 2,) + arr.shape[1:],
+                          dtype=arr.dtype)
+        padded[1:-1] = arr
+        view = padded[1:-1]
+        assert not view.flags.owndata
+        assert digest(view) == digest(arr)
+
+    @SETTINGS
+    @given(arr=arrays)
+    def test_digest_is_deterministic(self, arr):
+        assert digest(arr) == digest(arr)
+
+
+class TestDigestSensitivity:
+    @SETTINGS
+    @given(arr=arrays, data=st.data())
+    def test_any_single_value_perturbation_changes_key(self, arr, data):
+        idx = tuple(data.draw(st.integers(0, dim - 1), label="idx")
+                    for dim in arr.shape)
+        perturbed = arr.copy()
+        perturbed[idx] = perturbed[idx] + 1
+        assert digest(perturbed) != digest(arr)
+
+    @SETTINGS
+    @given(arr=arrays)
+    def test_dtype_and_shape_are_part_of_the_key(self, arr):
+        if arr.dtype != np.float64:
+            assert digest(arr) != digest(arr.astype(np.float64))
+        assert digest(arr) != digest(arr.reshape(arr.shape + (1,)))
+
+    def test_scalar_type_tags_do_not_collide(self):
+        assert len({digest(1), digest(1.0), digest(True), digest("1"),
+                    digest(np.int64(1))}) == 5
+        assert digest(None) != digest(0) != digest("")
+
+    def test_nested_config_perturbation_changes_key(self):
+        base = {"window": 12, "tau": 2.0, "milestones": (3, 4)}
+        assert digest(base) != digest({**base, "tau": 2.5})
+        assert digest(base) != digest({**base, "milestones": (3, 5)})
+        assert digest(base) != digest({**base, "extra": None})
+
+    def test_dict_keys_are_type_tagged_too(self):
+        assert digest({1: "a"}) != digest({"1": "a"})
+        assert digest({True: "a"}) != digest({"True": "a"})
+        # key order never matters, only content
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_scheme_digest_tracks_weights_options_and_scale(
+            self, converted_micro):
+        base = scheme_digest("ttfs-closed-form", converted_micro)
+        assert base == scheme_digest("ttfs-closed-form", converted_micro)
+        assert base != scheme_digest("ttfs-timestep", converted_micro)
+        assert base != scheme_digest("ttfs-closed-form", converted_micro,
+                                     {"record_membranes": True})
+        spec = converted_micro.weight_layers[0]
+        original = spec.weight
+        try:
+            spec.weight = original + 1e-6
+            assert base != scheme_digest("ttfs-closed-form",
+                                         converted_micro)
+        finally:
+            spec.weight = original
+        scale = converted_micro.output_scale
+        try:
+            converted_micro.output_scale = scale * 1.001
+            assert base != scheme_digest("ttfs-closed-form",
+                                         converted_micro)
+        finally:
+            converted_micro.output_scale = scale
+
+    @SETTINGS
+    @given(arr=arrays)
+    def test_run_key_tracks_the_input_chunk(self, arr):
+        key = run_key("scheme", arr)
+        assert key == run_key("scheme", np.asfortranarray(arr))
+        assert key != run_key("other-scheme", arr)
+        assert key != run_key("scheme", arr.reshape(arr.shape + (1,)))
+
+
+# ----------------------------------------------------------------------
+# Lossless round-trips through the on-disk store
+# ----------------------------------------------------------------------
+
+results = st.builds(
+    SimulationResult,
+    output=hnp.arrays(np.float64, (3, 4),
+                      elements=st.floats(-10, 10, width=32).map(float)),
+    traces=st.lists(st.builds(
+        LayerTrace,
+        name=st.sampled_from(["conv0", "conv1", "linear2(out)"]),
+        input_spikes=st.integers(0, 1000),
+        output_spikes=st.integers(0, 1000),
+        neurons=st.integers(1, 1000),
+        sops=st.integers(0, 10**9),
+        membrane=st.one_of(st.none(), hnp.arrays(
+            np.float64, (2, 3),
+            elements=st.floats(-1, 1, width=32).map(float))),
+    ), max_size=3),
+    window=st.integers(1, 48),
+    num_stages=st.integers(1, 10),
+    early_firing=st.booleans(),
+)
+
+
+def assert_same_result(a, b):
+    assert type(a) is type(b)
+    assert np.array_equal(a.output, b.output)
+    assert a.output.dtype == b.output.dtype
+    assert (a.window, a.num_stages, a.early_firing) == \
+           (b.window, b.num_stages, b.early_firing)
+    assert len(a.traces) == len(b.traces)
+    for ta, tb in zip(a.traces, b.traces):
+        assert dataclasses.asdict(ta).keys() == dataclasses.asdict(tb).keys()
+        assert (ta.name, ta.input_spikes, ta.output_spikes, ta.neurons,
+                ta.sops) == (tb.name, tb.input_spikes, tb.output_spikes,
+                             tb.neurons, tb.sops)
+        if ta.membrane is None:
+            assert tb.membrane is None
+        else:
+            assert np.array_equal(ta.membrane, tb.membrane)
+
+
+class TestCacheRoundTrip:
+    @SETTINGS
+    @given(result=results)
+    def test_encode_decode_is_lossless(self, result):
+        payload, arrays_table = encode_result(result)
+        assert_same_result(result, decode_result(payload, arrays_table))
+
+    @SETTINGS
+    @given(result=results)
+    def test_store_round_trip(self, result, tmp_path):
+        # tmp_path is shared across hypothesis examples; the store is
+        # content-addressed, so same-key overwrites are fine by design.
+        cache = ResultCache(tmp_path / "store")
+        key = digest("entry", result.output, len(result.traces))
+        cache.put(key, result)
+        assert key in cache
+        assert_same_result(result, cache.get(key))
+
+    def test_special_floats_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        values = {"nan": float("nan"), "inf": float("inf"),
+                  "tiny": 5e-324, "third": 1 / 3}
+        cache.put("specials", values)
+        back = cache.get("specials")
+        assert np.isnan(back["nan"]) and back["inf"] == float("inf")
+        assert back["tiny"] == 5e-324 and back["third"] == 1 / 3
+
+    def test_undecodable_entry_degrades_to_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "torn.json").write_text("{not json")
+        (tmp_path / "badclass.json").write_text(
+            '{"__dataclass__": ["no.such.module", "Gone"], "fields": {}}')
+        assert cache.get("torn") is None
+        assert cache.get("badclass") is None
+        assert (cache.hits, cache.misses) == (0, 2)
+        cache.put("torn", {"x": 1})  # self-heals by overwrite
+        assert cache.get("torn") == {"x": 1}
+
+    def test_run_key_includes_package_version(self, monkeypatch):
+        import repro
+
+        key = run_key("scheme", np.zeros(2))
+        monkeypatch.setattr(repro, "__version__",
+                            repro.__version__ + ".post1")
+        assert run_key("scheme", np.zeros(2)) != key
+
+    def test_hit_miss_accounting_and_clear(self, tmp_path, rng):
+        cache = ResultCache(tmp_path)
+        arr = rng.normal(size=(2, 2))
+        assert cache.get("absent") is None
+        cache.put("present", {"x": arr})
+        assert np.array_equal(cache.get("present")["x"], arr)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1 and bool(cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0 and bool(cache)  # empty != disabled
+        assert cache.get("present") is None

@@ -97,3 +97,50 @@ class TestRunnerAPI:
         runner = PipelineRunner(EventDrivenTTFSNetwork(converted_micro))
         with pytest.raises(ValueError):
             runner.run(tiny_dataset.test_x[:0])
+
+
+class _CountingScheme:
+    """Wraps a scheme, counting how often ``run`` executes."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.runs = 0
+
+    def run(self, images):
+        self.runs += 1
+        return self.inner.run(images)
+
+    def merge(self, results):
+        return self.inner.merge(results)
+
+
+class TestAccuracyStreams:
+    """Regression: ``accuracy`` must reuse ``stream``, not re-run chunks."""
+
+    def test_runs_scheme_exactly_once_per_chunk(self, converted_micro,
+                                                tiny_dataset):
+        x, y = tiny_dataset.test_x[:10], tiny_dataset.test_y[:10]
+        scheme = _CountingScheme(EventDrivenTTFSNetwork(converted_micro))
+        PipelineRunner(scheme, max_batch=4).accuracy(x, y)
+        assert scheme.runs == 3  # ceil(10 / 4), not 2x
+
+    def test_single_chunk_edge(self, converted_micro, tiny_dataset):
+        x, y = tiny_dataset.test_x[:5], tiny_dataset.test_y[:5]
+        scheme = _CountingScheme(EventDrivenTTFSNetwork(converted_micro))
+        runner = PipelineRunner(scheme, max_batch=64)
+        acc = runner.accuracy(x, y)
+        assert scheme.runs == 1
+        preds = scheme.inner.run(x).predictions()
+        assert acc == pytest.approx(float((preds == y).mean()))
+
+    def test_empty_batch_edge(self, converted_micro, tiny_dataset):
+        runner = PipelineRunner(EventDrivenTTFSNetwork(converted_micro))
+        with pytest.raises(ValueError, match="empty"):
+            runner.accuracy(tiny_dataset.test_x[:0],
+                            tiny_dataset.test_y[:0])
+
+    def test_length_mismatch_rejected(self, converted_micro, tiny_dataset):
+        runner = PipelineRunner(EventDrivenTTFSNetwork(converted_micro))
+        with pytest.raises(ValueError, match="labels"):
+            runner.accuracy(tiny_dataset.test_x[:4],
+                            tiny_dataset.test_y[:3])

@@ -50,3 +50,42 @@ class TestTrainCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "ANN" in out and "SNN" in out and "latency" in out
+
+
+class TestEvaluateCommand:
+    def test_unknown_scheme_is_a_usage_error(self, capsys):
+        assert main(["evaluate", "--schemes", "morse-code"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_empty_axis_is_a_usage_error(self, capsys):
+        assert main(["evaluate", "--schemes", ","]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_workers_and_limit_fail_before_training(self, capsys):
+        assert main(["evaluate", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["evaluate", "--limit", "-5"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_sweep_runs_and_resumes_from_cache(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        argv = ["evaluate", "--schemes", "ttfs-closed-form",
+                "--windows", "6", "--max-batches", "8",
+                "--epochs", "1", "--limit", "8", "--workers", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--report", str(report_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache 1 hit / 0 miss" in out
+
+        import json
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["cache"] == {"hits": 1, "misses": 0}
+        (point,) = report["points"]
+        assert point["scheme"] == "ttfs-closed-form"
+        assert point["window"] == 6
+        assert 0.0 <= point["accuracy"] <= 1.0
