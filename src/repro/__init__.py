@@ -10,6 +10,7 @@ optim    : SGD + multi-step LR (the paper's training recipe)
 data     : synthetic CIFAR/Tiny-ImageNet stand-ins
 cat      : conversion-aware training + ANN-to-SNN conversion (core)
 engine   : unified layer-walk core + batched runner + scheme registry
+api      : declarative experiment pipelines (config -> stages -> report)
 snn      : event-driven TTFS simulator + T2FSNN baseline
 quant    : logarithmic weight quantisation + LUT/shift arithmetic
 hw       : SNN processor model (SpinalFlow-derived) + Table 4 baselines
@@ -18,10 +19,11 @@ analysis : metrics, reporting, paper reference constants
 
 __version__ = "1.0.0"
 
-from . import analysis, cat, data, engine, hw, nn, optim, quant, snn, tensor
+from . import analysis, api, cat, data, engine, hw, nn, optim, quant, snn, tensor
 
 __all__ = [
     "analysis",
+    "api",
     "cat",
     "data",
     "engine",

@@ -1,0 +1,108 @@
+"""Declarative experiment pipelines: config -> stages -> report.
+
+One level above the simulation engine, this package turns the paper's
+end-to-end flow — conversion-aware training, quantisation, TTFS
+conversion, spike simulation, processor energy/latency estimation — into
+a config-driven pipeline:
+
+* :mod:`config`     — the strict :class:`ExperimentConfig` dataclass
+  tree, loadable from JSON/TOML via :func:`config_from_file`;
+* :mod:`stages`     — the :class:`Stage` protocol, the shared
+  :class:`PipelineContext`, the stage registry and the builtin stages
+  (train / convert / quantize / simulate / hardware + the analytic
+  figure stages);
+* :mod:`experiment` — the :class:`Experiment` driver with chained-key
+  stage caching and the structured :class:`ExperimentReport`;
+* :mod:`presets`    — named configs and the builders behind every
+  legacy CLI subcommand.
+
+See ``docs/api.md`` for the architecture note and a worked example.
+"""
+
+from .config import (
+    ARCHITECTURES,
+    DEFAULT_STAGES,
+    AnalysisConfig,
+    ConfigError,
+    ConvertConfig,
+    DatasetConfig,
+    ExperimentConfig,
+    HardwareConfig,
+    ModelConfig,
+    QuantizeConfig,
+    SimulateConfig,
+    TrainConfig,
+    config_from_dict,
+    config_from_file,
+    config_to_dict,
+)
+from .experiment import (
+    REPORT_SCHEMA_VERSION,
+    Experiment,
+    ExperimentReport,
+    StageRecord,
+    run_experiment,
+)
+from .presets import (
+    PRESETS,
+    available_presets,
+    preset_config,
+    simulate_config,
+    train_config,
+    train_micro_snn,
+)
+from .stages import (
+    ConvertStage,
+    HardwareStage,
+    PipelineContext,
+    PipelineError,
+    PipelineStage,
+    QuantizeStage,
+    SimulateStage,
+    Stage,
+    TrainStage,
+    available_stages,
+    get_stage,
+    register_stage,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "DEFAULT_STAGES",
+    "AnalysisConfig",
+    "ConfigError",
+    "ConvertConfig",
+    "DatasetConfig",
+    "ExperimentConfig",
+    "HardwareConfig",
+    "ModelConfig",
+    "QuantizeConfig",
+    "SimulateConfig",
+    "TrainConfig",
+    "config_from_dict",
+    "config_from_file",
+    "config_to_dict",
+    "REPORT_SCHEMA_VERSION",
+    "Experiment",
+    "ExperimentReport",
+    "StageRecord",
+    "run_experiment",
+    "PRESETS",
+    "available_presets",
+    "preset_config",
+    "simulate_config",
+    "train_config",
+    "train_micro_snn",
+    "ConvertStage",
+    "HardwareStage",
+    "PipelineContext",
+    "PipelineError",
+    "PipelineStage",
+    "QuantizeStage",
+    "SimulateStage",
+    "Stage",
+    "TrainStage",
+    "available_stages",
+    "get_stage",
+    "register_stage",
+]

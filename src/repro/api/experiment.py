@@ -1,0 +1,162 @@
+"""The :class:`Experiment` driver: chain stages, record, cache, resume.
+
+``Experiment(config).run()`` executes the config's stage list in order
+over one shared :class:`~repro.api.stages.PipelineContext` and returns a
+structured :class:`ExperimentReport` (per-stage status/timings plus the
+context's metrics tree; the live context rides along as ``.context`` for
+callers that want the rich artifacts).
+
+With a :class:`~repro.engine.cache.ResultCache`, each cacheable stage is
+addressed by a *chained* content key — its own ``cache_key`` digested
+together with the key of everything upstream — so re-running an
+identical config replays every stage from disk with **zero**
+re-executions, while editing any stage's config invalidates exactly that
+stage and everything after it (stage-granular resume).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import __version__
+from ..engine.cache import ResultCache, digest
+from .config import ExperimentConfig, config_to_dict
+from .stages import PipelineContext, Stage, get_stage
+
+#: Version of the report dict layout.
+REPORT_SCHEMA_VERSION = 1
+
+#: Bump when stage payload layouts change; part of every chained key so
+#: stale stores never decode against new stage code.
+STAGE_CACHE_FORMAT = 1
+
+
+@dataclass
+class StageRecord:
+    """One stage's slice of the report."""
+
+    name: str
+    status: str                # "completed" | "cached"
+    elapsed_s: float
+    cache_key: Optional[str]   # chained key, None when uncacheable/uncached
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "status": self.status,
+                "elapsed_s": self.elapsed_s, "cache_key": self.cache_key}
+
+
+@dataclass
+class ExperimentReport:
+    """Structured output of one experiment run (JSON-able via to_dict)."""
+
+    name: str
+    config: Dict[str, Any]
+    stages: List[StageRecord] = field(default_factory=list)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    total_elapsed_s: float = 0.0
+    cached: bool = False
+    context: Optional[PipelineContext] = None  # not serialised
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.stages if s.status == "cached")
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        raise KeyError(f"no stage {name!r} in this report; ran: "
+                       f"{', '.join(s.name for s in self.stages)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "name": self.name,
+            "config": self.config,
+            "cached": self.cached,
+            "stages": [s.to_dict() for s in self.stages],
+            "cache_hits": self.cache_hits,
+            "metrics": self.metrics,
+            "total_elapsed_s": self.total_elapsed_s,
+        }
+
+
+class Experiment:
+    """Drive an :class:`ExperimentConfig` through its stage chain.
+
+    ``cache`` enables stage-granular resume; ``on_stage_start`` /
+    ``on_stage_end`` are display hooks (the CLI uses them for its
+    progress lines) receiving the :class:`Stage` / :class:`StageRecord`
+    respectively.
+    """
+
+    def __init__(self, config: ExperimentConfig,
+                 cache: Optional[ResultCache] = None,
+                 on_stage_start: Optional[Callable[[Stage], None]] = None,
+                 on_stage_end: Optional[Callable[[StageRecord], None]] = None):
+        self.config = config
+        self.cache = cache
+        self.on_stage_start = on_stage_start
+        self.on_stage_end = on_stage_end
+        self.stages: List[Stage] = [get_stage(name, config)
+                                    for name in config.stages]
+
+    # ------------------------------------------------------------------
+    def run(self, context: Optional[PipelineContext] = None
+            ) -> ExperimentReport:
+        """Execute (or replay) every stage; returns the report."""
+        ctx = context or PipelineContext(config=self.config)
+        report = ExperimentReport(name=self.config.name,
+                                  config=config_to_dict(self.config),
+                                  cached=self.cache is not None,
+                                  context=ctx)
+        t_run = time.perf_counter()
+        chain: Optional[str] = None
+        for stage in self.stages:
+            if self.on_stage_start is not None:
+                self.on_stage_start(stage)
+            # cache keys digest real stage inputs (weights, datasets),
+            # so only pay for them when there is a cache to address
+            local = (stage.cache_key(ctx) if self.cache is not None
+                     else None)
+            key: Optional[str] = None
+            if local is not None:
+                key = digest("api-stage", STAGE_CACHE_FORMAT, __version__,
+                             stage.name, local, chain or "")
+            t0 = time.perf_counter()
+            status = "completed"
+            if key is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    stage.restore(ctx, payload)
+                    status = "cached"
+            if status == "completed":
+                stage.run(ctx)
+                if key is not None:
+                    payload = stage.export(ctx)
+                    if payload is not None:
+                        self.cache.put(key, payload)
+            record = StageRecord(name=stage.name, status=status,
+                                 elapsed_s=time.perf_counter() - t0,
+                                 cache_key=key)
+            report.stages.append(record)
+            if self.on_stage_end is not None:
+                self.on_stage_end(record)
+            if key is not None:
+                # uncacheable (analytic) stages leave the chain untouched:
+                # they produce no context a later stage's output consumes
+                chain = key
+        report.metrics = ctx.metrics
+        report.total_elapsed_s = time.perf_counter() - t_run
+        return report
+
+
+def run_experiment(config: ExperimentConfig,
+                   cache: Optional[ResultCache] = None,
+                   context: Optional[PipelineContext] = None,
+                   **hooks) -> ExperimentReport:
+    """Convenience wrapper: build an :class:`Experiment` and run it."""
+    return Experiment(config, cache=cache, **hooks).run(context=context)

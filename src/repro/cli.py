@@ -2,7 +2,9 @@
 
 Fast, self-contained entry points into the reproduction:
 
-* ``info``   — inventory of subsystems and reproduced artefacts;
+* ``info``   — inventory of subsystems, coding schemes, pipeline stages;
+* ``run``    — execute a declarative experiment config (JSON/TOML or a
+  named preset) through the ``repro.api`` pipeline driver;
 * ``fig2``   — activation/representation-error curves (exact, instant);
 * ``fig6``   — PE-array area/power design points (analytic, instant);
 * ``table4`` — processor comparison on exact VGG-16 geometry (instant);
@@ -12,6 +14,11 @@ Fast, self-contained entry points into the reproduction:
   coding scheme with the batched engine runner;
 * ``evaluate``— sweep scheme x max-timestep x batch grids through the
   process-parallel, result-cached runner and emit a JSON report.
+
+Every subcommand is a thin wrapper: it builds an
+:class:`repro.api.ExperimentConfig` (see :mod:`repro.api.presets`) and
+hands it to the same :class:`repro.api.Experiment` driver that ``repro
+run`` exposes directly, so the CLI contains presentation logic only.
 
 The full table/figure regeneration lives in ``benchmarks/`` (pytest).
 """
@@ -27,20 +34,99 @@ import numpy as np
 
 def _cmd_info(args) -> int:
     from . import __version__
+    from .api import available_presets, available_stages
+    from .engine import available_schemes
 
     print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
     print(__doc__)
-    print("subsystems: tensor, nn, optim, data, cat, snn, quant, hw, analysis")
-    print("artefacts : fig2 fig3 fig4 fig6 table1 table2 table4 "
+    print("subsystems    : tensor, nn, optim, data, cat, engine, api, "
+          "snn, quant, hw, analysis")
+    print("artefacts     : fig2 fig3 fig4 fig6 table1 table2 table4 "
           "(see benchmarks/)")
+    print(f"coding schemes: {', '.join(available_schemes())}")
+    print(f"pipeline stages: {', '.join(available_stages())}")
+    print(f"run presets   : {', '.join(available_presets())}")
+    return 0
+
+
+def _run_config(config, cache=None, context=None, on_stage_start=None,
+                on_stage_end=None):
+    """Build + run an Experiment; returns the report (with .context)."""
+    from .api import Experiment
+
+    return Experiment(config, cache=cache,
+                      on_stage_start=on_stage_start,
+                      on_stage_end=on_stage_end).run(context=context)
+
+
+def _cmd_run(args) -> int:
+    import json
+    import pathlib
+
+    from .api import (
+        ConfigError,
+        PipelineError,
+        config_from_file,
+        preset_config,
+    )
+    from .engine import ResultCache
+
+    try:
+        if bool(args.config) == bool(args.preset):
+            raise ConfigError(
+                "give exactly one of a config file path or --preset "
+                "(see 'repro run --help')")
+        if args.report:
+            pathlib.Path(args.report).parent.mkdir(parents=True,
+                                                   exist_ok=True)
+        config = (preset_config(args.preset) if args.preset
+                  else config_from_file(args.config))
+    except (ConfigError, KeyError, OSError) as exc:
+        # KeyError str() would re-quote the message; OSError.args[0] is
+        # just the errno — unwrap only the former
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"repro run: error: {message}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    print(f"experiment '{config.name}' — stages: "
+          f"{' -> '.join(config.stages)}"
+          + (f" (cache at {args.cache_dir})" if cache is not None else ""))
+
+    def stage_done(record):
+        marker = " (cached)" if record.status == "cached" else ""
+        print(f"  {record.name:<10s} {record.elapsed_s:8.2f}s{marker}")
+
+    try:
+        report = _run_config(config, cache=cache, on_stage_end=stage_done)
+    except PipelineError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    for stage_name, values in report.metrics.items():
+        parts = []
+        for key, value in values.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4g}")
+            elif isinstance(value, (int, str, bool)):
+                parts.append(f"{key}={value}")
+        if parts:
+            print(f"{stage_name:<10s}: {', '.join(parts)}")
+    print(f"\ntotal {report.total_elapsed_s:.2f}s, "
+          f"{report.cache_hits}/{len(report.stages)} stage(s) from cache")
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {path}")
     return 0
 
 
 def _cmd_fig2(args) -> int:
     from .analysis import format_series
-    from .cat import activation_curves
+    from .api.presets import fig2_config
 
-    curves = activation_curves(window=args.window, tau=args.tau)
+    report = _run_config(fig2_config(window=args.window, tau=args.tau))
+    curves = report.context.artifacts["fig2_curves"]
     idx = np.linspace(0, len(curves.inputs) - 1, 13).astype(int)
     print(format_series(
         np.round(curves.inputs[idx], 3),
@@ -48,63 +134,55 @@ def _cmd_fig2(args) -> int:
         title=f"representation error vs SNN coding "
               f"(T={args.window}, tau={args.tau:g})",
         x_label="x"))
-    print(f"\nmax error: ttfs={curves.max_error('ttfs'):.4f} "
-          f"clip={curves.max_error('clip'):.4f} "
-          f"relu={curves.max_error('relu'):.4f}")
+    errors = report.metrics["fig2"]["max_error"]
+    print(f"\nmax error: ttfs={errors['ttfs']:.4f} "
+          f"clip={errors['clip']:.4f} "
+          f"relu={errors['relu']:.4f}")
     return 0
 
 
 def _cmd_fig6(args) -> int:
     from .analysis import ascii_bars
-    from .hw import fig6_design_points
+    from .api.presets import fig6_config
 
-    result = fig6_design_points()
+    report = _run_config(fig6_config())
+    result = report.context.artifacts["fig6_result"]
     series = result.normalized_series()
     print(ascii_bars(series["area"], title="PE-array area (normalised)"))
     print()
     print(ascii_bars(series["power"], title="PE-array power (normalised)"))
-    print(f"\nstep I : -{100 * result.area_saving_cat:.1f}% area, "
-          f"-{100 * result.power_saving_cat:.1f}% power "
+    savings = report.metrics["fig6"]
+    print(f"\nstep I : -{100 * savings['area_saving_cat']:.1f}% area, "
+          f"-{100 * savings['power_saving_cat']:.1f}% power "
           "(paper: -12.7% / -14.7%)")
-    print(f"step II: -{100 * result.area_saving_log:.1f}% area, "
-          f"-{100 * result.power_saving_log:.1f}% power "
+    print(f"step II: -{100 * savings['area_saving_log']:.1f}% area, "
+          f"-{100 * savings['power_saving_log']:.1f}% power "
           "(paper: -8.1% / -8.6%)")
     return 0
 
 
 def _cmd_table4(args) -> int:
     from .analysis import format_table
-    from .hw import (
-        MEASURED_VGG_PROFILE,
-        SNNProcessor,
-        TPULikeProcessor,
-        vgg16_geometry,
-    )
+    from .api.presets import table4_config
 
-    proc, tpu = SNNProcessor(), TPULikeProcessor()
-    rows = []
-    for name, (size, classes) in (("cifar10", (32, 10)),
-                                  ("cifar100", (32, 100)),
-                                  ("tiny-imagenet", (64, 200))):
-        geo = vgg16_geometry(input_size=size, num_classes=classes)
-        ours = proc.run(geo, MEASURED_VGG_PROFILE)
-        theirs = tpu.run(geo)
-        rows.append([name, round(ours.fps, 1),
-                     round(ours.energy_per_image_uj, 1),
-                     round(theirs.fps, 1),
-                     round(theirs.energy_per_image_uj, 1)])
+    report = _run_config(table4_config())
+    table = report.metrics["table4"]
+    rows = [[r["workload"], r["snn_fps"], r["snn_uj_per_image"],
+             r["tpu_fps"], r["tpu_uj_per_image"]] for r in table["rows"]]
     print(format_table(
         ["workload", "SNN fps", "SNN uJ/img", "TPU fps", "TPU uJ/img"],
-        rows, title=f"VGG-16 inference — chip area {proc.area_mm2():.4f} mm2"
-                    " (paper 0.9102)"))
+        rows, title=f"VGG-16 inference — chip area {table['area_mm2']:.4f} "
+                    "mm2 (paper 0.9102)"))
     return 0
 
 
 def _cmd_latency(args) -> int:
-    from .analysis import latency_timesteps
+    from .api.presets import latency_config
 
-    lat = latency_timesteps(args.layers, args.window,
-                            early_firing=args.early_firing)
+    report = _run_config(latency_config(layers=args.layers,
+                                        window=args.window,
+                                        early_firing=args.early_firing))
+    lat = report.metrics["latency"]["timesteps"]
     mode = "early firing" if args.early_firing else "full window"
     print(f"{args.layers} weight layers x T={args.window} ({mode}): "
           f"{lat} timesteps")
@@ -112,93 +190,90 @@ def _cmd_latency(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    from .cat import CATConfig, convert, evaluate, train_cat
-    from .data import load
-    from .nn import init as nninit, vgg7, vgg9
+    from .api import ConfigError
+    from .api.presets import train_config
 
-    dataset = load(args.dataset)
-    builder = vgg9 if args.model == "vgg9" else vgg7
-    nninit.seed(args.seed)
-    size = dataset.image_shape[-1]
-    model = builder(num_classes=dataset.num_classes, input_size=size)
-    config = CATConfig(
-        window=args.window, tau=args.tau, method=args.method,
-        epochs=args.epochs, relu_epochs=max(1, args.epochs // 10),
-        ttfs_epoch=max(1, int(args.epochs * 0.85)),
-        lr=args.lr,
-        milestones=tuple(max(1, int(args.epochs * f))
-                         for f in (0.4, 0.6, 0.8)),
-        batch_size=40, augment=False, seed=args.seed,
-    )
-    print(f"training {args.model} on {dataset.name} with method "
+    try:
+        config = train_config(dataset=args.dataset, model=args.model,
+                              method=args.method, window=args.window,
+                              tau=args.tau, epochs=args.epochs, lr=args.lr,
+                              seed=args.seed)
+    except ConfigError as exc:
+        print(f"repro train: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"training {args.model} on {args.dataset} with method "
           f"{args.method}, T={args.window}, tau={args.tau:g}")
-    train_cat(model, dataset, config, verbose=True)
-    snn = convert(model, config, calibration=dataset.train_x[:64])
-    ann = evaluate(model, dataset.test_x, dataset.test_y)
-    acc = snn.accuracy(dataset.test_x, dataset.test_y)
+    report = _run_config(config)
+    metrics = report.metrics["convert"]
+    ann, acc = metrics["ann_accuracy"], metrics["snn_accuracy"]
     print(f"\nANN {ann:.3f} -> SNN {acc:.3f} "
           f"(loss {100 * (acc - ann):+.2f} pp), "
-          f"latency {snn.latency_timesteps} timesteps")
+          f"latency {metrics['latency_timesteps']} timesteps")
     return 0
 
 
-def _train_micro_snn(dataset, window: int, tau: float, epochs: int,
-                     seed: int):
-    """Train + convert the micro VGG used by ``simulate``/``evaluate``."""
-    from .cat import CATConfig, convert, train_cat
-    from .nn import init as nninit, vgg_micro
-
-    nninit.seed(seed)
-    size = dataset.image_shape[-1]
-    model = vgg_micro(num_classes=dataset.num_classes, input_size=size)
-    config = CATConfig(
-        window=window, tau=tau, method="I+II+III",
-        epochs=epochs, relu_epochs=1,
-        ttfs_epoch=max(1, int(epochs * 0.85)),
-        milestones=tuple(max(1, int(epochs * f))
-                         for f in (0.4, 0.6, 0.8)),
-        batch_size=40, augment=False, seed=seed,
-    )
-    print(f"training vgg_micro on {dataset.name} "
-          f"(T={window}, tau={tau:g}, {epochs} epochs)")
-    train_cat(model, dataset, config)
-    return convert(model, config, calibration=dataset.train_x[:64])
-
-
 def _cmd_simulate(args) -> int:
-    import time
-
+    from .api import ConfigError, PipelineContext
+    from .api.presets import simulate_config
     from .data import load
-    from .engine import PipelineRunner, create_scheme, result_predictions
+    from .engine import ResultCache
 
     if args.max_batch < 1:
         print("repro simulate: error: --max-batch must be >= 1",
               file=sys.stderr)
         return 2
+    if args.limit < 0:
+        print("repro simulate: error: --limit must be >= 0",
+              file=sys.stderr)
+        return 2
 
+    try:
+        config = simulate_config(dataset=args.dataset, scheme=args.scheme,
+                                 max_batch=args.max_batch,
+                                 window=args.window, tau=args.tau,
+                                 epochs=args.epochs, seed=args.seed,
+                                 limit=args.limit)
+    except ConfigError as exc:
+        print(f"repro simulate: error: {exc}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
     dataset = load(args.dataset)
-    snn = _train_micro_snn(dataset, args.window, args.tau, args.epochs,
-                           args.seed)
+    num_images = len(dataset.test_x)
+    if args.limit:
+        num_images = min(num_images, args.limit)
 
-    scheme = create_scheme(args.scheme, snn)
-    runner = PipelineRunner(scheme, max_batch=args.max_batch)
-    x, y = dataset.test_x, dataset.test_y
-    chunks = -(-len(x) // args.max_batch)
-    print(f"simulating {len(x)} images with scheme '{args.scheme}' "
-          f"({chunks} chunk(s) of <= {args.max_batch})")
-    t0 = time.perf_counter()
-    result = runner.run(x)
-    elapsed = time.perf_counter() - t0
-    preds = result_predictions(result)
-    acc = float((preds == y).mean())
-    print(f"accuracy  : {acc:.3f}")
-    print(f"throughput: {len(x) / elapsed:.1f} img/s "
-          f"({1e3 * elapsed / len(x):.2f} ms/img)")
+    def stage_started(stage):
+        if stage.name == "train":
+            print(f"training vgg_micro on {dataset.name} "
+                  f"(T={args.window}, tau={args.tau:g}, "
+                  f"{args.epochs} epochs)")
+        elif stage.name == "simulate":
+            chunks = -(-num_images // args.max_batch)
+            print(f"simulating {num_images} images with scheme "
+                  f"'{args.scheme}' ({chunks} chunk(s) of <= "
+                  f"{args.max_batch})")
+
+    def stage_done(record):
+        if record.status == "cached":
+            print(f"  ({record.name} stage replayed from cache)")
+
+    report = _run_config(config, cache=cache,
+                         context=PipelineContext(config=config,
+                                                 dataset=dataset),
+                         on_stage_start=stage_started,
+                         on_stage_end=stage_done)
+    metrics = report.metrics["simulate"]
+    # the stage's own timing round-trips through the cache, so cached
+    # reruns report the original simulation throughput, not restore time
+    elapsed = metrics["elapsed_s"]
+    print(f"accuracy  : {metrics['accuracy']:.3f}")
+    print(f"throughput: {num_images / elapsed:.1f} img/s "
+          f"({1e3 * elapsed / num_images:.2f} ms/img)")
     for attr, label in (("total_spikes", "spikes    "),
                         ("total_sops", "SOPs      "),
                         ("agreement", "fp agree  "),
                         ("max_membrane_drift", "fp drift  ")):
-        value = getattr(result, attr, None)
+        value = metrics.get(attr)
         if value is not None:
             print(f"{label}: {value:.4f}" if isinstance(value, float)
                   else f"{label}: {value}")
@@ -210,6 +285,7 @@ def _cmd_evaluate(args) -> int:
     import pathlib
 
     from .analysis import format_sweep_report
+    from .api import ConfigError, train_micro_snn
     from .data import load
     from .engine import ResultCache, SweepGrid, available_schemes, run_sweep
 
@@ -239,12 +315,32 @@ def _cmd_evaluate(args) -> int:
         return 2
 
     dataset = load(args.dataset)
-    snn = _train_micro_snn(dataset, max(grid.windows), args.tau,
-                           args.epochs, args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    def stage_started(stage):
+        if stage.name == "train":
+            print(f"training vgg_micro on {dataset.name} "
+                  f"(T={max(grid.windows)}, tau={args.tau:g}, "
+                  f"{args.epochs} epochs)")
+
+    # The stage cache is the same content-addressed store as the sweep
+    # cache, so a cached re-run skips training as well as simulation.
+    def stage_done(record):
+        if record.status == "cached":
+            print(f"  ({record.name} stage replayed from cache)")
+
+    try:
+        snn = train_micro_snn(args.dataset, max(grid.windows), args.tau,
+                              args.epochs, args.seed, cache=cache,
+                              preloaded=dataset,
+                              on_stage_start=stage_started,
+                              on_stage_end=stage_done)
+    except ConfigError as exc:
+        print(f"repro evaluate: error: {exc}", file=sys.stderr)
+        return 2
     x, y = dataset.test_x, dataset.test_y
     if args.limit:
         x, y = x[:args.limit], y[:args.limit]
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
     print(f"sweeping {len(grid.points())} grid point(s) over {len(x)} "
           f"images ({args.workers} worker(s), cache "
@@ -274,6 +370,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="package inventory").set_defaults(
         fn=_cmd_info)
+
+    p = sub.add_parser(
+        "run", help="run a declarative experiment pipeline config")
+    p.add_argument("config", nargs="?", default=None,
+                   help="JSON or TOML experiment config file")
+    p.add_argument("--preset", default=None,
+                   help="named preset instead of a config file "
+                        "(see 'repro info')")
+    p.add_argument("--cache-dir", default=None,
+                   help="stage-cache directory (repeat runs resume)")
+    p.add_argument("--report", default=None,
+                   help="write the ExperimentReport JSON here")
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("fig2", help="activation error curves")
     p.add_argument("--window", type=int, default=24)
@@ -318,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tau", type=float, default=2.0)
     p.add_argument("--epochs", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=0,
+                   help="cap the number of test images (0 = all)")
+    p.add_argument("--cache-dir", default=None,
+                   help="stage-cache directory (repeat runs skip "
+                        "training and simulation)")
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser(

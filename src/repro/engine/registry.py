@@ -53,9 +53,10 @@ def get_scheme(name: str) -> Callable:
     try:
         return _FACTORIES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown coding scheme {name!r}; available: "
-            f"{', '.join(available_schemes())}") from None
+        from ..util import unknown_name_message
+
+        raise KeyError(unknown_name_message(
+            "coding scheme", name, available_schemes())) from None
 
 
 def create_scheme(name: str, snn, **options):

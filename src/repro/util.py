@@ -1,0 +1,33 @@
+"""Small shared helpers with no intra-package dependencies.
+
+Currently: actionable "unknown name" error text.  Registries and config
+validation all hand users the same shape of message — the offending
+name, a closest-match suggestion when one is plausible, and the full
+list of valid names — so a typo'd scheme, stage or config field is a
+one-glance fix instead of a documentation hunt.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Sequence
+
+
+def closest_match(name: str, candidates: Iterable[str]) -> str | None:
+    """The most similar candidate to ``name``, or None when nothing is close."""
+    matches = difflib.get_close_matches(name, list(candidates), n=1,
+                                        cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """`` did you mean 'x'?`` when a candidate is close, else ``""``."""
+    match = closest_match(name, candidates)
+    return f" did you mean {match!r}?" if match else ""
+
+
+def unknown_name_message(kind: str, name: str,
+                         candidates: Sequence[str]) -> str:
+    """One-line error text for a name that is not in ``candidates``."""
+    return (f"unknown {kind} {name!r};{did_you_mean(name, candidates)}"
+            f" available: {', '.join(sorted(candidates))}")

@@ -1,0 +1,223 @@
+"""End-to-end Experiment runs: ordering, propagation, cache resume."""
+
+import json
+
+import pytest
+
+from repro.api import Experiment, ExperimentConfig, PipelineContext
+from repro.api.config import SimulateConfig, TrainConfig
+from repro.api.experiment import REPORT_SCHEMA_VERSION
+from repro.api.stages import (
+    ConvertStage,
+    HardwareStage,
+    QuantizeStage,
+    SimulateStage,
+    TrainStage,
+)
+from repro.engine import ResultCache
+
+ALL_STAGE_TYPES = (TrainStage, ConvertStage, QuantizeStage, SimulateStage,
+                   HardwareStage)
+
+
+def micro_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="e2e",
+        train=TrainConfig(window=6, epochs=1, relu_epochs=1),
+        simulate=SimulateConfig(max_batch=8, limit=8),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture()
+def executions(monkeypatch):
+    """Record every real stage execution as (stage-name) in call order."""
+    calls = []
+    for cls in ALL_STAGE_TYPES:
+        original = cls.run
+
+        def counting(self, ctx, _original=original):
+            calls.append(self.name)
+            return _original(self, ctx)
+
+        monkeypatch.setattr(cls, "run", counting)
+    return calls
+
+
+def run_micro(config, cache=None, dataset=None):
+    ctx = PipelineContext(config=config, dataset=dataset)
+    return Experiment(config, cache=cache).run(context=ctx)
+
+
+class TestEndToEnd:
+    def test_stage_ordering_and_artifact_propagation(self, executions,
+                                                     tiny_dataset):
+        config = micro_config()
+        report = run_micro(config, dataset=tiny_dataset)
+        # stages executed exactly once each, in the configured order
+        assert executions == list(config.stages)
+        assert [s.name for s in report.stages] == list(config.stages)
+        assert all(s.status == "completed" for s in report.stages)
+        # every stage's artifacts propagated through the one context
+        ctx = report.context
+        assert ctx.model is not None
+        assert ctx.snn is not None
+        assert ctx.quant_report is not None
+        assert ctx.sim_result is not None
+        assert set(report.metrics) == set(config.stages)
+        # simulate ran the *quantised* network on the limited split
+        assert report.metrics["simulate"]["num_images"] == 8
+        assert report.metrics["hardware"]["profile"] == "simulate"
+
+    def test_report_is_structured_and_json_able(self, tiny_dataset):
+        report = run_micro(micro_config(), dataset=tiny_dataset)
+        payload = report.to_dict()
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert payload["name"] == "e2e"
+        assert payload["config"]["train"]["epochs"] == 1
+        assert [s["name"] for s in payload["stages"]] == \
+            list(micro_config().stages)
+        assert all(s["elapsed_s"] >= 0.0 for s in payload["stages"])
+        assert json.loads(json.dumps(payload)) == payload
+        with pytest.raises(KeyError, match="no stage 'warp'"):
+            report.stage("warp")
+
+    def test_cache_resume_executes_nothing(self, executions, tiny_dataset,
+                                           tmp_path):
+        config = micro_config()
+        first = run_micro(config, cache=ResultCache(tmp_path),
+                          dataset=tiny_dataset)
+        assert executions == list(config.stages)
+        assert all(s.status == "completed" for s in first.stages)
+
+        executions.clear()
+        second = run_micro(config, cache=ResultCache(tmp_path),
+                           dataset=tiny_dataset)
+        assert executions == []                       # zero re-executions
+        assert all(s.status == "cached" for s in second.stages)
+        assert second.cache_hits == len(config.stages)
+        assert second.metrics == first.metrics        # replayed losslessly
+        # restored context is fully rehydrated, not just metrics
+        ctx = second.context
+        assert ctx.model is not None and ctx.snn is not None
+        assert ctx.sim_result is not None
+
+    def test_editing_one_stage_invalidates_only_downstream(
+            self, executions, tiny_dataset, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_micro(micro_config(), cache=cache, dataset=tiny_dataset)
+        executions.clear()
+
+        # a simulate-config change re-runs simulate + hardware only
+        changed = micro_config(
+            simulate=SimulateConfig(max_batch=4, limit=8))
+        report = run_micro(changed, cache=ResultCache(tmp_path),
+                           dataset=tiny_dataset)
+        assert executions == ["simulate", "hardware"]
+        statuses = {s.name: s.status for s in report.stages}
+        assert statuses == {"train": "cached", "convert": "cached",
+                            "quantize": "cached", "simulate": "completed",
+                            "hardware": "completed"}
+
+    def test_train_change_invalidates_everything(self, executions,
+                                                 tiny_dataset, tmp_path):
+        run_micro(micro_config(), cache=ResultCache(tmp_path),
+                  dataset=tiny_dataset)
+        executions.clear()
+        changed = micro_config(
+            train=TrainConfig(window=6, epochs=2, relu_epochs=1))
+        run_micro(changed, cache=ResultCache(tmp_path),
+                  dataset=tiny_dataset)
+        assert executions == list(changed.stages)     # full recompute
+
+    def test_injected_dataset_keys_the_cache_by_content(self, executions,
+                                                        tiny_dataset,
+                                                        tmp_path):
+        """A different context-injected dataset must never replay the
+        cached results of another one, even under an identical config."""
+        from repro.data import make_dataset
+
+        config = micro_config()
+        run_micro(config, cache=ResultCache(tmp_path),
+                  dataset=tiny_dataset)
+        executions.clear()
+        other = make_dataset(4, 8, train_per_class=30, test_per_class=15,
+                             seed=4321, noise_std=0.3)
+        report = run_micro(config, cache=ResultCache(tmp_path),
+                           dataset=other)
+        assert executions == list(config.stages)      # full recompute
+        assert all(s.status == "completed" for s in report.stages)
+
+    def test_verbose_toggle_reuses_the_training_cache(self, executions,
+                                                      tiny_dataset,
+                                                      tmp_path, capsys):
+        run_micro(micro_config(), cache=ResultCache(tmp_path),
+                  dataset=tiny_dataset)
+        executions.clear()
+        chatty = micro_config(
+            train=TrainConfig(window=6, epochs=1, relu_epochs=1,
+                              verbose=True))
+        report = run_micro(chatty, cache=ResultCache(tmp_path),
+                           dataset=tiny_dataset)
+        assert executions == []                       # presentation-only
+        assert all(s.status == "cached" for s in report.stages)
+
+    def test_without_cache_every_run_executes(self, executions,
+                                              tiny_dataset):
+        config = micro_config()
+        run_micro(config, dataset=tiny_dataset)
+        run_micro(config, dataset=tiny_dataset)
+        assert executions == list(config.stages) * 2
+
+    def test_restored_model_predicts_identically(self, tiny_dataset,
+                                                 tmp_path):
+        import numpy as np
+
+        from repro.tensor import Tensor
+
+        config = micro_config()
+        first = run_micro(config, cache=ResultCache(tmp_path),
+                          dataset=tiny_dataset)
+        second = run_micro(config, cache=ResultCache(tmp_path),
+                           dataset=tiny_dataset)
+        x = tiny_dataset.test_x[:4]
+        np.testing.assert_allclose(
+            first.context.model(Tensor(x)).data,
+            second.context.model(Tensor(x)).data, rtol=0, atol=0)
+        np.testing.assert_allclose(
+            first.context.snn.forward_value(x),
+            second.context.snn.forward_value(x), rtol=0, atol=0)
+
+
+class TestAnalyticPipelines:
+    def test_paper_artefacts_preset(self):
+        from repro.api import preset_config
+
+        report = Experiment(preset_config("paper-artefacts")).run()
+        assert [s.name for s in report.stages] == \
+            ["fig2", "fig6", "table4", "latency"]
+        assert report.metrics["latency"]["timesteps"] == 408
+
+    def test_unknown_preset_gets_suggestion(self):
+        from repro.api import preset_config
+
+        with pytest.raises(KeyError, match="did you mean 'micro-smoke'"):
+            preset_config("micro-smok")
+
+
+class TestTrainMicroSnnHelper:
+    def test_returns_converted_snn_and_caches(self, tmp_path):
+        from repro.api import train_micro_snn
+        from repro.cat.convert import ConvertedSNN
+
+        cache = ResultCache(tmp_path)
+        snn = train_micro_snn("mini-cifar10", window=6, tau=2.0, epochs=1,
+                              seed=0, cache=cache)
+        assert isinstance(snn, ConvertedSNN)
+        assert snn.config.window == 6
+        before_hits = cache.hits
+        again = train_micro_snn("mini-cifar10", window=6, tau=2.0,
+                                epochs=1, seed=0, cache=cache)
+        assert cache.hits >= before_hits + 2          # train + convert hit
+        assert again.config.window == 6

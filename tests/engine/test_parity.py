@@ -56,6 +56,15 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown coding scheme"):
             create_scheme("morse-code", converted_micro)
 
+    def test_unknown_scheme_suggests_closest_match(self, converted_micro):
+        with pytest.raises(KeyError,
+                           match="unknown coding scheme 'ttfs-close-form'.*"
+                                 "did you mean 'ttfs-closed-form'"):
+            create_scheme("ttfs-close-form", converted_micro)
+        # nothing plausible -> no suggestion, but the list still shows
+        with pytest.raises(KeyError, match="available: "):
+            create_scheme("zzzzzz", converted_micro)
+
     def test_custom_scheme_registration(self, converted_micro):
         from repro.engine import register_scheme
         from repro.engine.registry import _FACTORIES

@@ -11,6 +11,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "repro" in out and "subsystems" in out
 
+    def test_info_lists_schemes_stages_and_presets(self, capsys):
+        from repro.api import available_presets, available_stages
+        from repro.engine import available_schemes
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for scheme in available_schemes():
+            assert scheme in out
+        for stage in available_stages():
+            assert stage in out
+        for preset in available_presets():
+            assert preset in out
+
     def test_fig2(self, capsys):
         assert main(["fig2", "--window", "12", "--tau", "2"]) == 0
         out = capsys.readouterr().out
@@ -50,6 +63,141 @@ class TestTrainCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "ANN" in out and "SNN" in out and "latency" in out
+
+
+class TestSimulateCommand:
+    def test_bad_max_batch_and_limit_are_usage_errors(self, capsys):
+        assert main(["simulate", "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
+        assert main(["simulate", "--limit", "-1"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_bad_training_params_are_usage_errors(self, capsys):
+        assert main(["simulate", "--epochs", "0"]) == 2
+        assert "train.epochs" in capsys.readouterr().err
+        assert main(["evaluate", "--epochs", "0"]) == 2
+        assert "train.epochs" in capsys.readouterr().err
+        assert main(["train", "--epochs", "0"]) == 2
+        assert "train.epochs" in capsys.readouterr().err
+
+    def test_simulate_routes_through_the_experiment_driver(self, capsys,
+                                                           tmp_path):
+        """CLI parity: ``repro simulate`` == the api driver, key for key.
+
+        The CLI runs cold against a stage cache; the identical config
+        built through the public builder then replays every stage from
+        that cache — same keys, same metrics — proving the subcommand
+        is a thin wrapper over the same driver.
+        """
+        cache_dir = tmp_path / "stage-cache"
+        argv = ["simulate", "--epochs", "1", "--window", "6",
+                "--max-batch", "8", "--limit", "8",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "training vgg_micro on mini-cifar10" in out
+        assert "simulating 8 images with scheme 'ttfs-closed-form' " \
+               "(1 chunk(s) of <= 8)" in out
+        assert "accuracy  :" in out and "throughput:" in out
+        acc_line = next(l for l in out.splitlines()
+                        if l.startswith("accuracy"))
+        cli_accuracy = float(acc_line.split(":")[1])
+
+        from repro.api import Experiment, simulate_config
+        from repro.engine import ResultCache
+
+        config = simulate_config(dataset="mini-cifar10",
+                                 scheme="ttfs-closed-form", max_batch=8,
+                                 window=6, tau=2.0, epochs=1, seed=0,
+                                 limit=8)
+        report = Experiment(config, cache=ResultCache(cache_dir)).run()
+        assert [s.status for s in report.stages] == ["cached"] * 3
+        assert report.metrics["simulate"]["accuracy"] == \
+            pytest.approx(cli_accuracy, abs=5e-4)
+
+
+class TestRunCommand:
+    def _example(self, name):
+        from pathlib import Path
+
+        return str(Path(__file__).resolve().parents[1] / "examples"
+                   / "configs" / name)
+
+    def test_requires_exactly_one_config_source(self, capsys):
+        assert main(["run"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["run", "a.json", "--preset", "micro-smoke"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_unknown_preset_is_a_usage_error_with_suggestion(self, capsys):
+        assert main(["run", "--preset", "micro-smok"]) == 2
+        assert "did you mean 'micro-smoke'" in capsys.readouterr().err
+
+    def test_invalid_config_is_a_usage_error_with_suggestion(self, capsys,
+                                                             tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"train": {"epohcs": 1}}')
+        assert main(["run", str(bad)]) == 2
+        assert "did you mean 'epochs'" in capsys.readouterr().err
+
+    def test_missing_config_file_is_a_usage_error(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read config file" in capsys.readouterr().err
+
+    def test_missing_stage_dependency_is_a_usage_error(self, capsys,
+                                                       tmp_path):
+        cfg = tmp_path / "dep.json"
+        cfg.write_text('{"stages": ["simulate"]}')
+        assert main(["run", str(cfg)]) == 2
+        err = capsys.readouterr().err
+        assert "repro run: error:" in err
+        assert "add 'convert' before 'simulate'" in err
+
+    def test_unwritable_report_path_keeps_the_message(self, capsys,
+                                                      tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        target = blocker / "sub" / "report.json"   # parent is a file
+        assert main(["run", "--preset", "paper-artefacts",
+                     "--report", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "repro run: error:" in err
+        assert err.strip() != "repro run: error: 20"  # not a bare errno
+
+    def test_paper_artefacts_config_runs_instantly(self, capsys):
+        from repro.api.config import _toml_module
+
+        if _toml_module() is None:
+            pytest.skip("no tomllib/tomli on this interpreter")
+        assert main(["run", self._example("paper-artefacts.toml")]) == 0
+        out = capsys.readouterr().out
+        assert "stages: fig2 -> fig6 -> table4 -> latency" in out
+        assert "timesteps=408" in out
+
+    def test_full_pipeline_cold_then_cached(self, capsys, tmp_path):
+        """The acceptance path: all five stages cold, then all cached."""
+        import json
+
+        argv = ["run", self._example("micro-pipeline.json"),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--report", str(tmp_path / "report.json")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "stages: train -> convert -> quantize -> simulate " \
+               "-> hardware" in out
+        assert "0/5 stage(s) from cache" in out
+        cold = json.loads((tmp_path / "report.json").read_text())
+        assert [s["status"] for s in cold["stages"]] == ["completed"] * 5
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "5/5 stage(s) from cache" in out
+        cached = json.loads((tmp_path / "report.json").read_text())
+        assert cached["schema_version"] == 1
+        assert [s["status"] for s in cached["stages"]] == ["cached"] * 5
+        assert cached["metrics"] == cold["metrics"]
+        assert {s["name"] for s in cached["stages"]} == \
+            {"train", "convert", "quantize", "simulate", "hardware"}
 
 
 class TestEvaluateCommand:
