@@ -155,15 +155,19 @@ class SimulateConfig:
     """Spike-simulation options (engine runner + coding scheme)."""
 
     scheme: str = "ttfs-closed-form"
+    backend: str = "dense"   # execution backend (dense | event)
     max_batch: int = 32
     limit: int = 0           # cap on test images (0 = the whole split)
 
     def __post_init__(self):
-        from ..engine import available_schemes
+        from ..engine import available_backends, available_schemes
 
         if self.scheme not in available_schemes():
             raise ConfigError("simulate.scheme: " + unknown_name_message(
                 "coding scheme", self.scheme, available_schemes()))
+        if self.backend not in available_backends():
+            raise ConfigError("simulate.backend: " + unknown_name_message(
+                "backend", self.backend, available_backends()))
         if self.max_batch < 1:
             raise ConfigError("simulate.max_batch must be >= 1")
         if self.limit < 0:

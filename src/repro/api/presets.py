@@ -40,6 +40,7 @@ def micro_pipeline_config(dataset: str = "mini-cifar10", window: int = 8,
                           tau: float = 2.0, epochs: int = 2, seed: int = 0,
                           scheme: str = "ttfs-closed-form",
                           max_batch: int = 32, limit: int = 0,
+                          backend: str = "dense",
                           stages=("train", "convert", "simulate"),
                           name: str = "micro-pipeline") -> ExperimentConfig:
     """Micro-VGG pipeline over an arbitrary stage subset."""
@@ -50,7 +51,7 @@ def micro_pipeline_config(dataset: str = "mini-cifar10", window: int = 8,
         model=ModelConfig(arch="vgg_micro", seed=seed),
         train=micro_train_config(window, tau, epochs),
         simulate=SimulateConfig(scheme=scheme, max_batch=max_batch,
-                                limit=limit),
+                                limit=limit, backend=backend),
     )
 
 
@@ -70,12 +71,12 @@ def train_config(dataset: str, model: str, method: str, window: int,
 
 
 def simulate_config(dataset: str, scheme: str, max_batch: int, window: int,
-                    tau: float, epochs: int, seed: int,
-                    limit: int = 0) -> ExperimentConfig:
+                    tau: float, epochs: int, seed: int, limit: int = 0,
+                    backend: str = "dense") -> ExperimentConfig:
     """``repro simulate``: micro train + convert + engine simulation."""
     return micro_pipeline_config(
         dataset=dataset, window=window, tau=tau, epochs=epochs, seed=seed,
-        scheme=scheme, max_batch=max_batch, limit=limit,
+        scheme=scheme, max_batch=max_batch, limit=limit, backend=backend,
         name=f"simulate-{scheme}")
 
 

@@ -381,8 +381,12 @@ class SimulateStage(PipelineStage):
         snn = ctx.require("snn", self.name, "convert")
         cfg = self.config.simulate
         x, y = self._test_split(ctx)
+        # backend goes through the runner, not the factory, so custom
+        # schemes whose constructors know nothing about backends still
+        # build (they simply ignore the attribute)
         scheme = create_scheme(cfg.scheme, snn)
-        runner = PipelineRunner(scheme, max_batch=cfg.max_batch)
+        runner = PipelineRunner(scheme, max_batch=cfg.max_batch,
+                                backend=cfg.backend)
         t0 = time.perf_counter()
         result = runner.run(x)
         elapsed = time.perf_counter() - t0
@@ -390,6 +394,7 @@ class SimulateStage(PipelineStage):
         ctx.sim_result = result
         metrics: Dict[str, Any] = {
             "scheme": cfg.scheme,
+            "backend": cfg.backend,
             "num_images": int(len(x)),
             "max_batch": cfg.max_batch,
             "accuracy": float((preds == y).mean()),

@@ -31,9 +31,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..engine.executor import run_value_pipeline
+from ..events import EventStream
 from ..nn.layers import AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d
 from ..nn.vgg import VGG
 from .activations import TTFSActivation
+from .kernels import Base2Kernel
 from .schedule import CATConfig
 
 
@@ -168,6 +170,19 @@ class ConvertedSNN:
     def encode_input(self, x: np.ndarray) -> np.ndarray:
         """TTFS-encode the input image (pixels -> first-spike grid values)."""
         return self.activation.array(x)
+
+    def input_events(self, x: np.ndarray) -> EventStream:
+        """TTFS-encode the input into the sorted event-stream form.
+
+        The representation the event backend and the hardware input
+        generator consume: one ``(time, neuron)`` event per firing pixel
+        under the network's coding kernel, time-sorted.
+        """
+        kernel = Base2Kernel(tau=self.config.tau, base=self.config.base)
+        times = kernel.spike_time(np.asarray(x, dtype=np.float64),
+                                  theta0=self.config.theta0,
+                                  window=self.config.window)
+        return EventStream.from_dense(times, self.config.window)
 
     def forward_value(self, x: np.ndarray, encode_input: bool = True) -> np.ndarray:
         """Run the SNN in the value domain; returns readout potentials."""

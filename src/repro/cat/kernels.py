@@ -27,7 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-NO_SPIKE = -1  # sentinel spike time for neurons that never fire
+# The no-fire sentinel lives with the event-stream representation (the
+# package's bottom layer); re-exported here for every kernel consumer.
+from ..events import NO_SPIKE
 
 #: Log-domain snap tolerance: values within 2**(TOL/tau) of a grid point
 #: count as on-grid.  Sized for float32 inputs (eps ~1.2e-7 perturbs the

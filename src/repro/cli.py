@@ -35,15 +35,16 @@ import numpy as np
 def _cmd_info(args) -> int:
     from . import __version__
     from .api import available_presets, available_stages
-    from .engine import available_schemes
+    from .engine import available_backends, available_schemes
 
     print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
     print(__doc__)
-    print("subsystems    : tensor, nn, optim, data, cat, engine, api, "
-          "snn, quant, hw, analysis")
+    print("subsystems    : tensor, nn, optim, data, cat, events, engine, "
+          "api, snn, quant, hw, analysis")
     print("artefacts     : fig2 fig3 fig4 fig6 table1 table2 table4 "
           "(see benchmarks/)")
     print(f"coding schemes: {', '.join(available_schemes())}")
+    print(f"backends      : {', '.join(available_backends())}")
     print(f"pipeline stages: {', '.join(available_stages())}")
     print(f"run presets   : {', '.join(available_presets())}")
     return 0
@@ -60,6 +61,7 @@ def _run_config(config, cache=None, context=None, on_stage_start=None,
 
 
 def _cmd_run(args) -> int:
+    import dataclasses
     import json
     import pathlib
 
@@ -81,6 +83,11 @@ def _cmd_run(args) -> int:
                                                    exist_ok=True)
         config = (preset_config(args.preset) if args.preset
                   else config_from_file(args.config))
+        if args.backend:
+            # replace re-runs SimulateConfig validation, so an unknown
+            # backend gets the usual closest-match error
+            config = dataclasses.replace(config, simulate=dataclasses.replace(
+                config.simulate, backend=args.backend))
     except (ConfigError, KeyError, OSError) as exc:
         # KeyError str() would re-quote the message; OSError.args[0] is
         # just the errno — unwrap only the former
@@ -232,7 +239,7 @@ def _cmd_simulate(args) -> int:
                                  max_batch=args.max_batch,
                                  window=args.window, tau=args.tau,
                                  epochs=args.epochs, seed=args.seed,
-                                 limit=args.limit)
+                                 limit=args.limit, backend=args.backend)
     except ConfigError as exc:
         print(f"repro simulate: error: {exc}", file=sys.stderr)
         return 2
@@ -249,8 +256,10 @@ def _cmd_simulate(args) -> int:
                   f"{args.epochs} epochs)")
         elif stage.name == "simulate":
             chunks = -(-num_images // args.max_batch)
+            backend = (f", backend '{args.backend}'"
+                       if args.backend != "dense" else "")
             print(f"simulating {num_images} images with scheme "
-                  f"'{args.scheme}' ({chunks} chunk(s) of <= "
+                  f"'{args.scheme}'{backend} ({chunks} chunk(s) of <= "
                   f"{args.max_batch})")
 
     def stage_done(record):
@@ -378,6 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", default=None,
                    help="named preset instead of a config file "
                         "(see 'repro info')")
+    p.add_argument("--backend", default=None,
+                   help="override the config's simulate.backend "
+                        "(dense | event)")
     p.add_argument("--cache-dir", default=None,
                    help="stage-cache directory (repeat runs resume)")
     p.add_argument("--report", default=None,
@@ -419,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a coding scheme via the batched engine")
     p.add_argument("--scheme", choices=available_schemes(),
                    default="ttfs-closed-form")
+    p.add_argument("--backend", default="dense",
+                   help="execution backend: dense | event "
+                        "(see 'repro info')")
     p.add_argument("--dataset", default="mini-cifar10",
                    help="named dataset (see repro.data.available())")
     p.add_argument("--max-batch", type=int, default=32,

@@ -1,6 +1,8 @@
 """Unified simulation engine: one layer walk under every simulator stack.
 
-``executor``  — the shared per-layer primitives and the walk itself;
+``executor``  — the shared per-layer primitives, the walk itself, and
+the ``dense``/``event`` execution backends (the latter scatters only
+the :class:`~repro.events.EventStream` events that occurred);
 ``runner``    — batched/chunked execution with aggregated statistics;
 ``registry``  — pluggable coding schemes (``ttfs-closed-form``,
 ``ttfs-timestep``, ``ttfs-early``, ``rate``, ``fixed-point``, ...);
@@ -13,22 +15,27 @@ coding scheme.
 """
 
 from .executor import (
+    BACKENDS,
     FIRE_TOL,
     CodingScheme,
     ExecutionContext,
     LayerTrace,
     SpikeTrainScheme,
     affine,
+    available_backends,
+    avgpool_events,
     avgpool_times,
     bias_shaped,
     conv_fanout,
     fire_times_from_membrane,
+    integrate_events,
     layer_sops,
     output_shape,
     pool_times,
     pool_values,
     run_pipeline,
     run_value_pipeline,
+    validate_backend,
 )
 from .cache import ResultCache, digest, run_key, scheme_digest
 from .parallel import ParallelRunner, SchemeSpec
@@ -48,7 +55,12 @@ from .runner import (
 from .sweep import SweepGrid, SweepPoint, run_sweep, spec_for_point, variant_snn
 
 __all__ = [
+    "BACKENDS",
     "FIRE_TOL",
+    "available_backends",
+    "avgpool_events",
+    "integrate_events",
+    "validate_backend",
     "CodingScheme",
     "ExecutionContext",
     "LayerTrace",

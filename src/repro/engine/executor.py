@@ -32,10 +32,32 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cat.kernels import NO_SPIKE
+from ..events import EventStream, conv_offset_coverage, scatter_chunks
 from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
 
 #: Membranes exactly on-threshold fire (float guard of the fire phase).
 FIRE_TOL = 1e-9
+
+#: Execution backends every registered scheme understands: ``dense``
+#: walks full ``(T, N, ...)``/dense activation volumes; ``event``
+#: integrates only the spikes that actually occurred, as a scatter over
+#: an :class:`~repro.events.EventStream` (cost O(events), not
+#: O(timesteps x neurons)).
+BACKENDS = ("dense", "event")
+
+
+def available_backends():
+    """The execution backends schemes/runners/CLI accept."""
+    return list(BACKENDS)
+
+
+def validate_backend(name: str) -> str:
+    """Check a backend name; unknown names get a closest-match message."""
+    if name not in BACKENDS:
+        from ..util import unknown_name_message
+
+        raise ValueError(unknown_name_message("backend", name, BACKENDS))
+    return name
 
 
 # ----------------------------------------------------------------------
@@ -139,6 +161,75 @@ def avgpool_times(spec, train, kernel, theta0: float = 1.0):
     return encode_values(pooled, kernel, train.window, theta0)
 
 
+def avgpool_events(spec, stream: EventStream, kernel, theta0: float = 1.0
+                   ) -> EventStream:
+    """Average pooling on an event stream.
+
+    Same decode / value-pool / re-encode lowering as
+    :func:`avgpool_times` (the documented coding loss), producing the
+    identical spike times.
+    """
+    decoded = stream.decode(kernel, theta0)
+    pooled = avg_pool2d(Tensor(decoded), spec.kernel_size, spec.stride).data
+    times = kernel.spike_time(pooled, theta0=theta0, window=stream.window)
+    return EventStream.from_dense(times, stream.window)
+
+
+# ----------------------------------------------------------------------
+# Event-driven integration (the `event` backend's hot path)
+# ----------------------------------------------------------------------
+
+def integrate_events(spec, stream: EventStream,
+                     values: np.ndarray) -> np.ndarray:
+    """Membrane sums of a weight layer from spike events alone.
+
+    The event-driven integrate-and-fire formulation: instead of decoding
+    the stream into a dense activation volume and running the full
+    affine map, each event ``(sample, neuron j, value v)`` scatters
+    ``v * W[:, j]`` into the membranes it actually reaches — an
+    ``np.add.at`` over the events, so the cost is O(events x fan-out)
+    regardless of how many neurons stayed silent.  ``values`` carries
+    one amplitude per event (the kernel-decoded PSP for TTFS coding, the
+    threshold for rate coding).  Biases are *not* added (callers add
+    :func:`bias_shaped` once per window, mirroring the PPU).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) != stream.num_events:
+        raise ValueError(
+            f"got {len(values)} values for {stream.num_events} events")
+    out_shape = output_shape(spec, stream.shape)
+    if spec.kind == "linear":
+        sample, j = stream.unravel()
+        membrane = np.zeros(out_shape, dtype=np.float64)
+        # chunk the (events x outputs) product block to bound memory
+        # (a folded rate stream can carry T x batch worth of events)
+        for sl in scatter_chunks(stream.num_events, out_shape[1]):
+            np.add.at(membrane, sample[sl],
+                      values[sl][:, None]
+                      * spec.weight.T[j[sl]].astype(np.float64))
+        return membrane
+    # conv: decompose flat indices into (n, c, y, x) once, then scatter
+    # each event through the K*K kernel offsets that cover it.
+    n_out, c_out, oh, ow = out_shape
+    n, c, y, x = stream.unravel()
+    # the dense conv path runs through the tensor primitives at float32,
+    # so round each product identically (float32 value x float32
+    # weight = the exact terms dense sums), then accumulate them in
+    # float64 — the sum is at least as accurate as dense's own float32
+    # reduction, and the explicit upcast keeps np.add.at on its
+    # same-dtype fast path
+    values32 = values.astype(np.float32)
+    # scatter into (N, OH, OW, C_out) rows so one fancy index covers the
+    # whole fan-out of an event at a given offset
+    mem = np.zeros((n_out * oh * ow, c_out), dtype=np.float64)
+    for ky, kx, ok, oy, ox in conv_offset_coverage(
+            y, x, spec.kernel_size, spec.stride, spec.padding, oh, ow):
+        rows = (n[ok] * oh + oy) * ow + ox
+        contrib = values32[ok][:, None] * spec.weight[:, c[ok], ky, kx].T
+        np.add.at(mem, rows, contrib.astype(np.float64))
+    return mem.reshape(n_out, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+
 # ----------------------------------------------------------------------
 # Vectorised fire-phase threshold sweep
 # ----------------------------------------------------------------------
@@ -207,9 +298,15 @@ class CodingScheme:
     Implementations set :attr:`scheme_name` and are registered in
     :mod:`repro.engine.registry` so new coding schemes plug in without
     another copy of the walk.
+
+    :attr:`backend` selects the execution formulation (``dense`` |
+    ``event``, see :data:`BACKENDS`); both must produce the same
+    results — the parity suite asserts it for every registered scheme.
+    Schemes that have no event formulation simply ignore the attribute.
     """
 
     scheme_name: str = ""
+    backend: str = "dense"
 
     @property
     def layers(self):
@@ -243,14 +340,20 @@ class CodingScheme:
 
 class SpikeTrainScheme(CodingScheme):
     """Default pool/flatten hooks for schemes whose inter-layer state is
-    a :class:`~repro.snn.spikes.SpikeTrain` (requires ``self.snn`` and
-    ``self.kernel``)."""
+    a :class:`~repro.snn.spikes.SpikeTrain` or an
+    :class:`~repro.events.EventStream` (requires ``self.snn`` and
+    ``self.kernel``).  Both representations pool to identical spike
+    times; the event path never materialises a dense volume."""
 
     @property
     def theta0(self) -> float:
         return self.snn.config.theta0
 
     def pool(self, spec, train, ctx: ExecutionContext):
+        if isinstance(train, EventStream):
+            if spec.kind == "maxpool":
+                return train.max_pool2d(spec.kernel_size, spec.stride)
+            return avgpool_events(spec, train, self.kernel, self.theta0)
         if spec.kind == "maxpool":
             return pool_times(spec, train)
         return avgpool_times(spec, train, self.kernel, self.theta0)

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Optional
 import numpy as np
 
 from .cache import ResultCache, run_key, scheme_digest
+from .executor import validate_backend
 from .registry import create_scheme
 from .runner import chunk_bounds, streamed_accuracy
 
@@ -47,15 +48,30 @@ class SchemeSpec:
 
     ``build()`` goes through the registry, so every registered scheme —
     builtin or plugin — can run under the parallel runner without being
-    picklable itself.
+    picklable itself.  ``backend`` is applied as an attribute *after*
+    construction (mirroring :class:`~repro.engine.runner.PipelineRunner`
+    semantics), not passed to the factory — so custom factories that
+    know nothing about backends still build and simply ignore it.
     """
 
     name: str
     snn: Any
     options: Dict[str, Any] = field(default_factory=dict)
+    backend: Optional[str] = None
+
+    def __post_init__(self):
+        if self.backend is not None:
+            # fail at spec construction, like every other backend entry
+            # point — a typo must not silently run the dense path
+            validate_backend(self.backend)
 
     def build(self):
-        return create_scheme(self.name, self.snn, **self.options)
+        scheme = create_scheme(self.name, self.snn, **self.options)
+        if (self.backend is not None
+                and getattr(scheme, "backend", self.backend)
+                != self.backend):
+            scheme.backend = self.backend
+        return scheme
 
 
 # Per-worker scheme instance, built once by the pool initializer.
@@ -90,12 +106,18 @@ class ParallelRunner:
     def __init__(self, spec: SchemeSpec, max_batch: int = 64,
                  workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 backend: Optional[str] = None):
         if not isinstance(spec, SchemeSpec):
             raise TypeError(
                 "ParallelRunner takes a SchemeSpec (workers rebuild the "
                 "scheme), not a live scheme instance; wrap it as "
                 "SchemeSpec(name, snn, options)")
+        if backend is not None:
+            # a fresh spec copy, so the override never mutates the
+            # caller's object; workers apply it on rebuild
+            spec = SchemeSpec(spec.name, spec.snn, dict(spec.options),
+                              backend=validate_backend(backend))
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if workers is None:
@@ -126,8 +148,13 @@ class ParallelRunner:
     def scheme_key(self) -> str:
         """Content digest of the scheme (memoised; hashes the weights)."""
         if self._scheme_key is None:
+            options = self.spec.options
+            if self.spec.backend is not None:
+                # the backend shapes execution, so cached chunk results
+                # must key on it like any other scheme option
+                options = {**options, "backend": self.spec.backend}
             self._scheme_key = scheme_digest(self.spec.name, self.spec.snn,
-                                             self.spec.options)
+                                             options)
         return self._scheme_key
 
     def chunk_bounds(self, n: int) -> Iterator[tuple]:

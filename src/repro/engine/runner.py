@@ -15,7 +15,7 @@ from typing import Any, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from .executor import CodingScheme, LayerTrace
+from .executor import CodingScheme, LayerTrace, validate_backend
 
 
 def chunk_bounds(n: int, max_batch: int) -> Iterator[tuple]:
@@ -71,14 +71,21 @@ class PipelineRunner:
     inputs are chunked and the per-chunk results aggregated through the
     scheme's ``merge``.  ``stream`` exposes the per-chunk results for
     callers that want online consumption (progress display, per-chunk
-    persistence) instead of one aggregate.
+    persistence) instead of one aggregate.  ``backend`` (``dense`` |
+    ``event``) overrides the scheme's execution backend while this
+    runner simulates — the scheme object itself is left as it was, so
+    an override never leaks into later uses of the same instance.
     """
 
-    def __init__(self, scheme: CodingScheme, max_batch: int = 64):
+    def __init__(self, scheme: CodingScheme, max_batch: int = 64,
+                 backend: Optional[str] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if backend is not None:
+            backend = validate_backend(backend)
         self.scheme = scheme
         self.max_batch = max_batch
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def chunk_bounds(self, n: int) -> Iterator[tuple]:
@@ -88,7 +95,28 @@ class PipelineRunner:
         """Yield one scheme result per ``max_batch`` chunk, in order."""
         images = np.asarray(images)
         for start, stop in self.chunk_bounds(len(images)):
-            yield self.scheme.run(images[start:stop])
+            yield self._run_chunk(images[start:stop])
+
+    def _run_chunk(self, chunk: np.ndarray) -> Any:
+        """One chunk under the runner's backend, scheme left untouched.
+
+        The override is applied around each individual ``run`` (not the
+        whole lazy generator), so the scheme instance is always back on
+        its own backend whenever control is outside this runner — even
+        for partially-consumed streams or interleaved runners sharing
+        one scheme.  Schemes without backend support (the ``getattr``
+        default makes the comparison succeed) are run as-is.
+        """
+        if (self.backend is None
+                or getattr(self.scheme, "backend", self.backend)
+                == self.backend):
+            return self.scheme.run(chunk)
+        previous = self.scheme.backend
+        self.scheme.backend = self.backend
+        try:
+            return self.scheme.run(chunk)
+        finally:
+            self.scheme.backend = previous
 
     def run(self, images: np.ndarray) -> Any:
         """Simulate the whole batch; returns one aggregated result."""

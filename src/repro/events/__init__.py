@@ -1,0 +1,16 @@
+"""Sorted event-stream spike representation (see ``stream.py``).
+
+The one spike representation shared by the engine's ``event`` backend,
+the SNN simulator stacks and the hardware models — flat time-sorted
+``(time, neuron_index)`` arrays instead of dense per-timestep volumes.
+"""
+
+from .stream import (
+    NO_SPIKE,
+    EventStream,
+    conv_offset_coverage,
+    scatter_chunks,
+)
+
+__all__ = ["NO_SPIKE", "EventStream", "conv_offset_coverage",
+           "scatter_chunks"]

@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..events import EventStream
 from ..snn.spikes import SpikeTrain
 from . import energy as en
 from .config import HwConfig
@@ -67,10 +68,21 @@ class MinFindUnit:
             cursors[best_i] += 1
         return SortResult(events=merged, cycles=total + self.tree_depth)
 
-    def sort_train(self, train: SpikeTrain) -> SortResult:
-        """Sort a whole SpikeTrain (streams split by neuron-id blocks)."""
-        events = list(train.sorted_events())
-        return SortResult(events=events, cycles=len(events) + self.tree_depth)
+    def sort_stream(self, stream: EventStream) -> SortResult:
+        """Cost of emitting an already-sorted event stream.
+
+        The stream *is* the unit's output order (time-major, id-minor),
+        so only the per-spike emission and compare-tree fill cycles are
+        charged — no dense rescan.
+        """
+        return SortResult(events=list(stream),
+                          cycles=stream.num_events + self.tree_depth)
+
+    def sort_train(self, train) -> SortResult:
+        """Sort a whole SpikeTrain or EventStream into emission order."""
+        if isinstance(train, EventStream):
+            return self.sort_stream(train)
+        return self.sort_stream(train.to_events())
 
 
 @dataclass

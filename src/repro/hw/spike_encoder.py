@@ -19,12 +19,13 @@ advances + one cycle per emitted spike).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
 
 from ..cat.kernels import NO_SPIKE, Base2Kernel
+from ..events import EventStream
 from . import energy as en
 from .config import HwConfig
 
@@ -33,15 +34,27 @@ _FIRE_TOL = 1e-9
 
 @dataclass
 class EncoderResult:
-    """Spikes and cost of one encoder batch."""
+    """Spikes and cost of one encoder batch.
+
+    ``stream`` carries the emitted spikes in the FSM's emission order —
+    which *is* the canonical sorted event-stream order (the timestep
+    advances monotonically and the priority encoder drains ascending
+    neuron ids), so downstream consumers (tile model, input generator)
+    take it as-is instead of rebuilding and re-sorting a dense train.
+    """
 
     spike_times: np.ndarray  # per-neuron fire step or NO_SPIKE
-    events: List[Tuple[int, int]]  # (timestep, neuron_id) in emission order
+    stream: EventStream      # the same spikes, time-sorted events
     cycles: int
 
     @property
+    def events(self) -> List[Tuple[int, int]]:
+        """(timestep, neuron_id) pairs in emission order (compat view)."""
+        return list(self.stream)
+
+    @property
     def num_spikes(self) -> int:
-        return len(self.events)
+        return self.stream.num_events
 
 
 class SpikeEncoder:
@@ -66,7 +79,6 @@ class SpikeEncoder:
         # Init: load Vmems, clamp negatives to zero (Sec. 4.1).
         buffer = np.maximum(vmems, 0.0)
         times = np.full(len(buffer), NO_SPIKE, dtype=np.int64)
-        events: List[Tuple[int, int]] = []
         cycles = 1  # buffer load
         for t in range(self.cfg.window + 1):
             threshold = self.threshold_lut[t]
@@ -77,12 +89,14 @@ class SpikeEncoder:
                 if buffer[neuron] == 0.0 and threshold > 0.0:
                     continue
                 times[neuron] = t
-                events.append((t, int(neuron)))
                 buffer[neuron] = 0.0  # decoder feedback reset
                 cycles += 1
             if not buffer.any():
                 break  # all Vmems reset: early exit
-        return EncoderResult(spike_times=times, events=events, cycles=cycles)
+        return EncoderResult(
+            spike_times=times,
+            stream=EventStream.from_dense(times, self.cfg.window),
+            cycles=cycles)
 
     # ------------------------------------------------------------------
     def cycles_estimate(self, num_neurons: int, num_spikes: int) -> int:

@@ -30,11 +30,16 @@ import numpy as np
 from ..cat.convert import ConvertedSNN, LayerSpec
 from ..cat.kernels import NO_SPIKE, Base2Kernel
 from ..engine import executor
-from ..engine.executor import ExecutionContext, SpikeTrainScheme
+from ..engine.executor import (
+    ExecutionContext,
+    SpikeTrainScheme,
+    validate_backend,
+)
 from ..engine.registry import register_scheme
+from ..events import EventStream, conv_offset_coverage, scatter_chunks
 from ..quant.logquant import LogQuantConfig, quantize_tensor
 from ..quant.lut import LogDomainPE, required_frac_bits
-from ..snn.spikes import SpikeTrain, encode_values
+from ..snn.spikes import SpikeTrain
 from ..tensor import im2col
 from .config import HwConfig
 from .input_generator import InputGenerator
@@ -71,8 +76,9 @@ class FixedPointInference(SpikeTrainScheme):
 
     def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None,
                  weight_config: Optional[LogQuantConfig] = None,
-                 precision_bits: int = 16):
+                 precision_bits: int = 16, backend: str = "dense"):
         self.snn = snn
+        self.backend = validate_backend(backend)
         self.cfg = cfg or HwConfig(window=snn.config.window,
                                    tau=snn.config.tau)
         if not math.log2(snn.config.tau).is_integer():
@@ -117,6 +123,62 @@ class FixedPointInference(SpikeTrainScheme):
             acc[:, j] = np.where(active, prods, 0).sum(axis=1)
         return acc
 
+    def _products_linear_events(self, stream: EventStream,
+                                qt) -> np.ndarray:
+        """Event-driven fixed-point PSP sums for a linear layer.
+
+        Same integer products as :meth:`_products_linear`, but computed
+        as a scatter over only the spikes that occurred — and since the
+        accumulator arithmetic is integer, the two paths are *bitwise*
+        identical, not merely close.
+        """
+        n, d_in = stream.shape
+        d_out = qt.codes.shape[0]
+        acc = np.zeros((n, d_out), dtype=np.int64)
+        if not stream.num_events:
+            return acc
+        sample, j = stream.unravel()
+        xc = self.pe.encode_log2(-stream.times / self.snn.config.tau)
+        wc = self.pe.encode_log2(qt.log2_magnitudes)
+        w_nonzero = qt.codes >= 0
+        # chunk the (events x outputs) product block to bound memory
+        for sl in scatter_chunks(stream.num_events, d_out):
+            js = j[sl]
+            prods = self.pe.multiply(xc[sl][:, None], wc[:, js].T,
+                                     qt.signs[:, js].T)
+            np.add.at(acc, sample[sl],
+                      np.where(w_nonzero[:, js].T, prods, 0))
+        return acc
+
+    def _products_conv_events(self, stream: EventStream, qt,
+                              spec: LayerSpec) -> np.ndarray:
+        """Event-driven fixed-point PSP sums for a conv layer.
+
+        Each spike event scatters its integer products through the K*K
+        kernel offsets that cover it (the integer twin of
+        :func:`~repro.engine.executor.integrate_events`) — no dense
+        unfolding, so the cost tracks the event count.  Integer
+        accumulation makes it bitwise-identical to the im2col path.
+        """
+        n_out, c_out, oh, ow = executor.output_shape(spec, stream.shape)
+        acc = np.zeros((n_out * oh * ow, c_out), dtype=np.int64)
+        if not stream.num_events:
+            return (acc.reshape(n_out, oh, ow, c_out)
+                    .transpose(0, 3, 1, 2))
+        n, c, y, x = stream.unravel()
+        xc = self.pe.encode_log2(-stream.times / self.snn.config.tau)
+        wc = self.pe.encode_log2(qt.log2_magnitudes)
+        w_nonzero = qt.codes >= 0
+        for ky, kx, ok, oy, ox in conv_offset_coverage(
+                y, x, spec.kernel_size, spec.stride, spec.padding, oh, ow):
+            cs = c[ok]
+            prods = self.pe.multiply(xc[ok][:, None], wc[:, cs, ky, kx].T,
+                                     qt.signs[:, cs, ky, kx].T)
+            rows = (n[ok] * oh + oy) * ow + ox
+            np.add.at(acc, rows,
+                      np.where(w_nonzero[:, cs, ky, kx].T, prods, 0))
+        return acc.reshape(n_out, oh, ow, c_out).transpose(0, 3, 1, 2)
+
     def _products_conv(self, times: np.ndarray, qt,
                        spec: LayerSpec) -> np.ndarray:
         """Fixed-point PSP sums for a conv layer via im2col unfolding."""
@@ -142,18 +204,27 @@ class FixedPointInference(SpikeTrainScheme):
     # ------------------------------------------------------------------
     # CodingScheme hooks
     # ------------------------------------------------------------------
-    def encode_input(self, images: np.ndarray,
-                     ctx: ExecutionContext) -> SpikeTrain:
+    def _encode(self, values: np.ndarray):
+        """Spike-encode values into the backend's representation."""
         cfg = self.snn.config
-        return encode_values(np.asarray(images, dtype=np.float64),
-                             self.kernel, cfg.window, cfg.theta0)
+        times = self.kernel.spike_time(values, theta0=cfg.theta0,
+                                       window=cfg.window)
+        if self.backend == "event":
+            return EventStream.from_dense(times, cfg.window)
+        return SpikeTrain(times=times, window=cfg.window)
 
-    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
-                     ctx: ExecutionContext):
-        cfg = self.snn.config
+    def encode_input(self, images: np.ndarray, ctx: ExecutionContext):
+        return self._encode(np.asarray(images, dtype=np.float64))
+
+    def weight_layer(self, spec: LayerSpec, train, ctx: ExecutionContext):
         scale = 1 << self.pe.precision_bits
         qt = self._quantized[id(spec)]
-        if spec.kind == "conv":
+        if self.backend == "event":
+            if spec.kind == "conv":
+                acc = self._products_conv_events(train, qt, spec)
+            else:
+                acc = self._products_linear_events(train, qt)
+        elif spec.kind == "conv":
             acc = self._products_conv(train.times, qt, spec)
         else:
             acc = self._products_linear(train.times, qt)
@@ -163,8 +234,7 @@ class FixedPointInference(SpikeTrainScheme):
         membranes = acc.astype(np.float64) / scale
         if spec.is_output:
             return membranes * self.snn.output_scale
-        return encode_values(np.maximum(membranes, 0.0), self.kernel,
-                             cfg.window, cfg.theta0)
+        return self._encode(np.maximum(membranes, 0.0))
 
     # ------------------------------------------------------------------
     def run(self, images: np.ndarray) -> FixedPointReport:
@@ -259,24 +329,22 @@ class TiledCycleModel(SpikeTrainScheme):
         return executor.run_pipeline(self, image)
 
     # ------------------------------------------------------------------
-    # CodingScheme hooks
+    # CodingScheme hooks (inter-layer state: the sorted EventStream)
     # ------------------------------------------------------------------
     def encode_input(self, image: np.ndarray,
-                     ctx: ExecutionContext) -> SpikeTrain:
-        cfg = self.snn.config
+                     ctx: ExecutionContext) -> EventStream:
         ctx.extra["report"] = TiledRunReport()
-        return encode_values(np.asarray(image, dtype=np.float64),
-                             self.kernel, cfg.window, cfg.theta0)
+        return self.snn.input_events(np.asarray(image, dtype=np.float64))
 
-    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
-                     ctx: ExecutionContext) -> SpikeTrain:
+    def weight_layer(self, spec: LayerSpec, stream: EventStream,
+                     ctx: ExecutionContext) -> EventStream:
         cfg = self.snn.config
         report: TiledRunReport = ctx.extra["report"]
         name = f"{spec.kind}{ctx.weight_index}"
-        decoded = train.decode(self.kernel, cfg.theta0)
+        decoded = stream.decode(self.kernel, cfg.theta0)
         membranes = executor.affine(spec, decoded)
         flat = membranes.reshape(-1)
-        in_spikes = train.num_spikes
+        in_spikes = stream.num_spikes
         sort_cycles = self.input_gen.sort_cycles(in_spikes)
 
         if spec.is_output:
@@ -285,19 +353,21 @@ class TiledCycleModel(SpikeTrainScheme):
                 layer=name, tile=0, sort_cycles=sort_cycles,
                 integrate_cycles=max(in_spikes, 1), encode_cycles=0,
                 input_spikes=in_spikes, output_spikes=0))
-            return train
+            return stream
 
-        out_times = np.full(flat.shape, NO_SPIKE, dtype=np.int64)
         n_pes = self.cfg.num_pes
         num_tiles = int(np.ceil(len(flat) / n_pes))
         out_shape = membranes.shape
-        tile_spikes = self._per_tile_input_spikes(spec, train, out_shape,
+        tile_spikes = self._per_tile_input_spikes(spec, stream, out_shape,
                                                   num_tiles, n_pes)
+        tile_streams: List[EventStream] = []
         for tile in range(num_tiles):
             chunk = flat[tile * n_pes : (tile + 1) * n_pes]
             enc = self.encoder.encode(chunk)
-            out_times[tile * n_pes : tile * n_pes + len(chunk)] = \
-                enc.spike_times
+            # the encoder emits its tile's spikes already time-sorted;
+            # translate into the layer's flat index space for the merge
+            tile_streams.append(
+                enc.stream.with_offset(tile * n_pes, (len(flat),)))
             report.tiles.append(TileRecord(
                 layer=name, tile=tile,
                 # sorting is pipelined with the first tile's integration;
@@ -309,29 +379,32 @@ class TiledCycleModel(SpikeTrainScheme):
                 encode_cycles=enc.cycles,
                 input_spikes=tile_spikes[tile],
                 output_spikes=enc.num_spikes))
-        return SpikeTrain(out_times.reshape(out_shape), cfg.window)
+        return EventStream.merge(tile_streams).reshape(out_shape)
 
     def finalize(self, state, ctx: ExecutionContext) -> TiledRunReport:
         return ctx.extra["report"]
 
     # ------------------------------------------------------------------
-    def _per_tile_input_spikes(self, spec: LayerSpec, train: SpikeTrain,
+    def _per_tile_input_spikes(self, spec: LayerSpec, stream: EventStream,
                                out_shape, num_tiles: int,
                                n_pes: int) -> List[int]:
         """Input spikes each output tile must stream.
 
         Fully-connected tiles need every input spike.  Conv tiles cover a
         contiguous flat range of (C, H, W) outputs; only spikes inside
-        the covered rows' receptive field (± the kernel halo) stream.
+        the covered rows' receptive field (± the kernel halo) stream —
+        counted straight off the stream's flat indices (two binary
+        searches per tile over the sorted row coordinates, no dense
+        rescan per layer).
         """
-        total = train.num_spikes
+        total = stream.num_spikes
         if spec.kind != "conv":
             return [total] * num_tiles
         _, _, oh, ow = out_shape
         k, s, p = spec.kernel_size, spec.stride, spec.padding
-        # spike row coordinates in the input feature map
-        fired = train.times[0] != NO_SPIKE  # (C_in, H_in, W_in)
-        spike_rows = np.nonzero(fired)[1]
+        # spike row (H) coordinates in the input feature map, sorted
+        _, _, h_in, w_in = stream.shape
+        spike_rows = np.sort((stream.indices % (h_in * w_in)) // w_in)
         counts: List[int] = []
         per_map = oh * ow
         for tile in range(num_tiles):
@@ -343,6 +416,7 @@ class TiledCycleModel(SpikeTrainScheme):
                 y_lo, y_hi = 0, oh - 1  # tile spans channel boundary
             in_lo = y_lo * s - p
             in_hi = y_hi * s - p + k - 1
-            counts.append(int(((spike_rows >= in_lo)
-                               & (spike_rows <= in_hi)).sum()))
+            counts.append(int(
+                np.searchsorted(spike_rows, in_hi, side="right")
+                - np.searchsorted(spike_rows, in_lo, side="left")))
         return counts

@@ -30,11 +30,18 @@ from typing import List, Literal
 import numpy as np
 
 from ..cat.convert import ConvertedSNN, LayerSpec
-from ..cat.kernels import Base2Kernel
+from ..cat.kernels import NO_SPIKE, Base2Kernel
 from ..engine import executor
-from ..engine.executor import ExecutionContext, LayerTrace, SpikeTrainScheme
+from ..engine.executor import (
+    FIRE_TOL,
+    ExecutionContext,
+    LayerTrace,
+    SpikeTrainScheme,
+    validate_backend,
+)
 from ..engine.registry import register_scheme
 from ..engine.runner import PipelineRunner, merge_traces
+from ..events import EventStream
 from .neuron import IFNeuronPool
 from .spikes import SpikeTrain, encode_values
 
@@ -81,13 +88,15 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
     def __init__(self, snn: ConvertedSNN,
                  mode: Literal["timestep", "closed_form"] = "closed_form",
                  record_membranes: bool = False,
-                 early_firing: bool = False):
+                 early_firing: bool = False,
+                 backend: str = "dense"):
         self.snn = snn
         self.config = snn.config
         self.kernel = Base2Kernel(tau=snn.config.tau, base=snn.config.base)
         self.mode = mode
         self.record_membranes = record_membranes
         self.early_firing = early_firing
+        self.backend = validate_backend(backend)
         self.scheme_name = ("ttfs-early" if early_firing
                            else f"ttfs-{mode.replace('_', '-')}")
 
@@ -132,6 +141,74 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         return SpikeTrain(times=pool.fire_times.copy(), window=window)
 
     # ------------------------------------------------------------------
+    # Event-backend formulation
+    # ------------------------------------------------------------------
+    def _event_values(self, stream: EventStream) -> np.ndarray:
+        """Per-event PSP amplitudes (the kernel-decoded spike values)."""
+        return self.config.theta0 * self.kernel.value(stream.times)
+
+    def _integrate_events(self, spec: LayerSpec,
+                          stream: EventStream) -> np.ndarray:
+        """Integration phase as a scatter over only the events that
+        occurred, plus the once-per-window bias (Eq. 4)."""
+        membrane = executor.integrate_events(spec, stream,
+                                             self._event_values(stream))
+        membrane += executor.bias_shaped(spec)
+        return membrane
+
+    @staticmethod
+    def _fire_span(membrane: np.ndarray, fire_times: np.ndarray,
+                   ascending: np.ndarray, a: int, b: int) -> None:
+        """Fire checks for ``t = a..b`` on a constant membrane segment.
+
+        Between event arrivals the membrane does not change, so the
+        per-timestep comparison loop over the span collapses to one
+        ``searchsorted`` against the (monotone) threshold slice — the
+        same cumulative formulation as
+        :func:`~repro.engine.executor.fire_times_from_membrane`.
+        Fired membranes reset to zero (encoder feedback path).
+        """
+        flat_m = membrane.reshape(-1)
+        flat_f = fire_times.reshape(-1)
+        active = np.flatnonzero(flat_f == NO_SPIKE)
+        if not active.size:
+            return
+        t = np.searchsorted(ascending[a:b + 1], -flat_m[active], side="left")
+        hit = active[t <= b - a]
+        flat_f[hit] = a + t[t <= b - a]
+        flat_m[hit] = 0.0
+
+    def _integrate_and_fire_early_events(self, spec: LayerSpec,
+                                         stream: EventStream, out_shape):
+        """Event-driven early firing: walk only the *occupied* timesteps.
+
+        Equivalent to :meth:`_integrate_and_fire_early`'s dense loop —
+        at each arrival time the new events scatter in, then the partial
+        membranes race the decaying threshold until the next arrival
+        (a :meth:`_fire_span` per gap instead of a per-``t`` Python
+        loop).  Returns ``(fire_times, membrane)``.
+        """
+        theta0, window = self.config.theta0, stream.window
+        thresholds = theta0 * self.kernel.value(np.arange(window + 1))
+        ascending = -(thresholds - FIRE_TOL)
+        membrane = np.zeros(out_shape, dtype=np.float64)
+        membrane += executor.bias_shaped(spec)
+        fire_times = np.full(out_shape, NO_SPIKE, dtype=np.int64)
+        next_t = 0
+        for t, a, b in stream.time_groups():
+            if t > next_t:
+                self._fire_span(membrane, fire_times, ascending, next_t,
+                                t - 1)
+            group = stream.slice_events(a, b)
+            membrane += executor.integrate_events(spec, group,
+                                                  self._event_values(group))
+            self._fire_span(membrane, fire_times, ascending, t, t)
+            next_t = t + 1
+        if next_t <= window:
+            self._fire_span(membrane, fire_times, ascending, next_t, window)
+        return fire_times, membrane
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _pool_times(spec: LayerSpec, train: SpikeTrain) -> SpikeTrain:
         """Earliest-spike max pooling (kept as an alias of the engine's)."""
@@ -140,18 +217,62 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
     # ------------------------------------------------------------------
     # CodingScheme hooks
     # ------------------------------------------------------------------
-    def encode_input(self, images: np.ndarray,
-                     ctx: ExecutionContext) -> SpikeTrain:
+    def encode_input(self, images: np.ndarray, ctx: ExecutionContext):
         cfg = self.config
-        train = encode_values(np.asarray(images, dtype=np.float64),
-                              self.kernel, cfg.window, cfg.theta0)
+        if self.backend == "event":
+            train = self.snn.input_events(images)
+        else:
+            train = encode_values(np.asarray(images, dtype=np.float64),
+                                  self.kernel, cfg.window, cfg.theta0)
         ctx.record(LayerTrace(name="input-encoder", input_spikes=0,
                               output_spikes=train.num_spikes,
                               neurons=train.num_neurons, sops=0))
         return train
 
-    def weight_layer(self, spec: LayerSpec, train: SpikeTrain,
-                     ctx: ExecutionContext):
+    def _weight_layer_events(self, spec: LayerSpec, stream: EventStream,
+                             ctx: ExecutionContext):
+        """Event-backend weight layer: scatter-integrate, then fire."""
+        cfg = self.config
+        out_shape = executor.output_shape(spec, stream.shape)
+        in_spikes = stream.num_spikes
+        sops = executor.layer_sops(spec, in_spikes)
+        name = f"{spec.kind}{ctx.weight_index}"
+
+        if spec.is_output:
+            membrane = self._integrate_events(spec, stream)
+            output = membrane * self.snn.output_scale
+            ctx.record(LayerTrace(
+                name=name + "(out)", input_spikes=in_spikes, output_spikes=0,
+                neurons=int(np.prod(out_shape)), sops=sops,
+                membrane=output if self.record_membranes else None))
+            return output
+
+        if self.early_firing:
+            out_times, membrane = self._integrate_and_fire_early_events(
+                spec, stream, out_shape)
+        else:
+            membrane = self._integrate_events(spec, stream)
+            if self.mode == "timestep":
+                # the dense fire sweep resets fired membranes, exactly
+                # like run_fire_phase on a fresh pool
+                out_times = executor.fire_times_from_membrane(
+                    membrane, self.kernel, cfg.window, cfg.theta0)
+                membrane[out_times != NO_SPIKE] = 0.0
+            else:
+                out_times = self.kernel.spike_time(
+                    np.maximum(membrane, 0.0), theta0=cfg.theta0,
+                    window=cfg.window)
+        out_stream = EventStream.from_dense(out_times, cfg.window)
+        ctx.record(LayerTrace(
+            name=name, input_spikes=in_spikes,
+            output_spikes=out_stream.num_spikes,
+            neurons=int(np.prod(out_shape)), sops=sops,
+            membrane=membrane.copy() if self.record_membranes else None))
+        return out_stream
+
+    def weight_layer(self, spec: LayerSpec, train, ctx: ExecutionContext):
+        if self.backend == "event":
+            return self._weight_layer_events(spec, train, ctx)
         cfg = self.config
         out_shape = executor.output_shape(spec, train.shape)
         pool = IFNeuronPool(shape=out_shape, kernel=self.kernel,

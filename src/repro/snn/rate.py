@@ -35,9 +35,15 @@ import numpy as np
 
 from ..cat.convert import ConvertedSNN, LayerSpec
 from ..engine import executor
-from ..engine.executor import CodingScheme, ExecutionContext, LayerTrace
+from ..engine.executor import (
+    CodingScheme,
+    ExecutionContext,
+    LayerTrace,
+    validate_backend,
+)
 from ..engine.registry import register_scheme
 from ..engine.runner import PipelineRunner
+from ..events import EventStream
 
 
 @dataclass
@@ -87,12 +93,14 @@ class RateCodedNetwork(CodingScheme):
 
     scheme_name = "rate"
 
-    def __init__(self, snn: ConvertedSNN, timesteps: int = 32):
+    def __init__(self, snn: ConvertedSNN, timesteps: int = 32,
+                 backend: str = "dense"):
         if timesteps < 1:
             raise ValueError("need at least one timestep")
         self.snn = snn
         self.timesteps = timesteps
         self.theta0 = snn.config.theta0
+        self.backend = validate_backend(backend)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -107,8 +115,27 @@ class RateCodedNetwork(CodingScheme):
         if not signal.per_step:
             z = executor.affine(spec, signal.data)
             return np.broadcast_to(z, (self.timesteps,) + z.shape)
+        if self.backend == "event":
+            return self._fold_events(spec, signal)
         return self._map_steps(lambda x: executor.affine(spec, x),
                                signal.data)
+
+    def _fold_events(self, spec: LayerSpec,
+                     signal: _RateSignal) -> np.ndarray:
+        """Event-backend fold: scatter only the spikes that occurred.
+
+        A per-step firing signal holds ``theta0`` at spiking neurons and
+        zero everywhere else, so the dense per-step affine map reduces
+        to one batched scatter over the spike events — the time axis
+        folds into the batch exactly as in :meth:`_map_steps`, but the
+        cost scales with the spike count, not ``T x neurons``.
+        """
+        data = signal.data
+        stream = EventStream.from_masks(data != 0).fold_time()
+        z = executor.integrate_events(spec, stream,
+                                      data.reshape(-1)[stream.indices])
+        z += executor.bias_shaped(spec)
+        return z.reshape(data.shape[:2] + z.shape[1:])
 
     # ------------------------------------------------------------------
     # CodingScheme hooks

@@ -13,6 +13,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from ..cat.kernels import NO_SPIKE
+from ..events import EventStream
 
 
 @dataclass
@@ -67,14 +68,19 @@ class SpikeTrain:
         """Values represented by the spikes under ``kernel`` (Eq. 7)."""
         return kernel.decode(self.times, theta0)
 
+    def to_events(self) -> EventStream:
+        """Lossless conversion to the sorted event-stream representation."""
+        return EventStream.from_dense(self.times, self.window)
+
     def sorted_events(self) -> Iterator[Tuple[int, int]]:
         """Yield (time, flat_neuron_id) in the min-find merge order that the
-        processor's input generator produces (time-major, id-minor)."""
-        flat = self.times.ravel()
-        fired = np.nonzero(flat != NO_SPIKE)[0]
-        order = np.lexsort((fired, flat[fired]))
-        for idx in fired[order]:
-            yield int(flat[idx]), int(idx)
+        processor's input generator produces (time-major, id-minor).
+
+        Kept as an iterator for compatibility; the sort itself is the
+        vectorised :meth:`EventStream.from_dense` lexsort, not a
+        per-timestep Python scan.
+        """
+        yield from self.to_events()
 
     def reshape(self, shape) -> "SpikeTrain":
         return SpikeTrain(self.times.reshape(shape), self.window)

@@ -30,6 +30,7 @@ from ..cat.convert import ConvertedSNN, LayerSpec, extract_layer_specs
 from ..cat.kernels import ExpKernel
 from ..cat.schedule import CATConfig
 from ..engine.executor import run_value_pipeline
+from ..events import EventStream
 from ..nn.vgg import VGG
 
 
@@ -195,6 +196,39 @@ class T2FSNNModel:
                 (out.argmax(axis=1) == labels[start : start + batch_size]).sum()
             )
         return correct / len(labels)
+
+    # ------------------------------------------------------------------
+    def layer_event_streams(self, x: np.ndarray) -> List[EventStream]:
+        """Per-layer spike events under each layer's (tuned) kernel.
+
+        The baseline's spike activity as sorted :class:`EventStream`\\ s —
+        the input encoding plus one stream per hidden weight layer —
+        which is what the Table 2 spike-count/sparsity comparison
+        against the paper's coding consumes (no private dense trains).
+        """
+        cfg = self.config
+        x = np.asarray(x, dtype=np.float64)
+        x = x / max(float(x.max()), 1e-12)
+        streams: List[EventStream] = [EventStream.from_dense(
+            self.input_kernel.spike_time(x, theta0=cfg.theta0,
+                                         window=cfg.window), cfg.window)]
+
+        def _encode_and_tap(wi: int, z: np.ndarray) -> np.ndarray:
+            acts = np.maximum(z, 0.0)
+            kernel = self.kernels[wi]
+            times = kernel.spike_time(acts, theta0=cfg.theta0,
+                                      window=cfg.window)
+            streams.append(EventStream.from_dense(times, cfg.window))
+            return kernel.decode(times, theta0=cfg.theta0)
+
+        run_value_pipeline(self.layers,
+                           streams[0].decode(self.input_kernel, cfg.theta0),
+                           hidden=_encode_and_tap)
+        return streams
+
+    def total_spikes(self, x: np.ndarray) -> int:
+        """Whole-network spike count on a batch (baseline sparsity)."""
+        return sum(s.num_spikes for s in self.layer_event_streams(x))
 
 
 def convert_t2fsnn(model: VGG, config: T2FSNNConfig,

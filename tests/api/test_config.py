@@ -72,6 +72,13 @@ class TestValidation:
                                  "did you mean 'ttfs-closed-form'"):
             config_from_dict({"simulate": {"scheme": "ttfs-close-form"}})
 
+    def test_unknown_backend_suggests_closest(self):
+        with pytest.raises(ConfigError,
+                           match="simulate.backend.*did you mean 'event'"):
+            config_from_dict({"simulate": {"backend": "events"}})
+        cfg = config_from_dict({"simulate": {"backend": "event"}})
+        assert cfg.simulate.backend == "event"
+
     def test_unknown_dataset_arch_method_profile_are_rejected(self):
         with pytest.raises(ConfigError, match="dataset.name"):
             config_from_dict({"dataset": {"name": "imagenet-22k"}})

@@ -111,6 +111,22 @@ class TestValueEquivalence:
         for layer_act in acts[:-1]:  # all but readout
             assert np.allclose(act_fn.array(layer_act), layer_act, atol=1e-7)
 
+    def test_input_events_decode_to_the_encoded_input(self, converted_micro,
+                                                      tiny_dataset):
+        """input_events is the sorted-stream twin of encode_input."""
+        from repro.cat import Base2Kernel
+
+        x = tiny_dataset.test_x[:4]
+        stream = converted_micro.input_events(x)
+        assert stream.shape == x.shape
+        assert stream.window == converted_micro.config.window
+        assert stream.is_sorted
+        kernel = Base2Kernel(tau=converted_micro.config.tau,
+                             base=converted_micro.config.base)
+        decoded = stream.decode(kernel, converted_micro.config.theta0)
+        assert np.allclose(decoded, converted_micro.encode_input(x),
+                           atol=1e-7)
+
 
 class TestOutputNorm:
     def test_scale_bounds_outputs(self, trained_micro, tiny_dataset,

@@ -80,6 +80,145 @@ class TestRegistry:
             _FACTORIES.pop("test-dummy", None)
 
 
+class TestBackendParity:
+    """`dense` and `event` backends must agree for every registered
+    scheme: same accuracies, same spike counts, same SOP totals, same
+    predictions (the acceptance contract of the event backend)."""
+
+    @pytest.fixture(scope="class")
+    def images(self, tiny_dataset):
+        return tiny_dataset.test_x[:8], tiny_dataset.test_y[:8]
+
+    @pytest.mark.parametrize("name", ["ttfs-closed-form", "ttfs-timestep",
+                                      "ttfs-early", "rate", "fixed-point"])
+    def test_event_backend_matches_dense(self, name, converted_micro,
+                                         images):
+        x, y = images
+        dense = create_scheme(name, converted_micro, backend="dense").run(x)
+        event = create_scheme(name, converted_micro, backend="event").run(x)
+
+        from repro.engine import result_predictions
+
+        preds_d = result_predictions(dense)
+        preds_e = result_predictions(event)
+        assert np.array_equal(preds_d, preds_e)
+        assert float((preds_d == y).mean()) == float((preds_e == y).mean())
+        for attr in ("total_spikes", "total_sops", "max_membrane_drift"):
+            if getattr(dense, attr, None) is not None:
+                assert getattr(dense, attr) == getattr(event, attr), attr
+        if hasattr(dense, "output"):
+            assert np.allclose(dense.output, event.output, atol=1e-9)
+        if hasattr(dense, "traces") and dense.traces:
+            for td, te in zip(dense.traces, event.traces):
+                assert (td.name, td.input_spikes, td.output_spikes,
+                        td.sops) == (te.name, te.input_spikes,
+                                     te.output_spikes, te.sops)
+        if hasattr(dense, "spikes_per_layer"):
+            assert dense.spikes_per_layer == event.spikes_per_layer
+
+    def test_fixed_point_backends_bitwise_identical(self, converted_micro,
+                                                    images):
+        # integer datapath: the scatter and the per-output loop must not
+        # merely be close, they must agree bit for bit
+        x, _ = images
+        dense = create_scheme("fixed-point", converted_micro).run(x)
+        event = create_scheme("fixed-point", converted_micro,
+                              backend="event").run(x)
+        assert np.array_equal(dense.predictions, event.predictions)
+        assert dense.max_membrane_drift == event.max_membrane_drift
+
+    def test_runner_backend_override(self, converted_micro, images):
+        from repro.engine import PipelineRunner
+
+        x, _ = images
+        scheme = create_scheme("ttfs-closed-form", converted_micro)
+        dense = PipelineRunner(scheme, max_batch=4).run(x)
+        event = PipelineRunner(scheme, max_batch=4, backend="event").run(x)
+        # the override is scoped to the runner's execution: the shared
+        # scheme instance must come back with its original backend
+        assert scheme.backend == "dense"
+        assert np.array_equal(dense.predictions(), event.predictions())
+        assert dense.total_spikes == event.total_spikes
+
+    def test_runner_backend_ignored_by_backend_less_schemes(self,
+                                                            converted_micro):
+        # a custom scheme built from the documented template (no backend
+        # parameter, no backend attribute) must still run under an
+        # explicit runner backend instead of crashing
+        from repro.engine import PipelineRunner
+
+        class Plain:
+            def run(self, images):
+                return len(images)
+
+            def merge(self, results):
+                return sum(results)
+
+        runner = PipelineRunner(Plain(), max_batch=2, backend="event")
+        assert runner.run(np.zeros((5, 1))) == 5
+
+    def test_parallel_runner_backend_parity(self, converted_micro, images):
+        from repro.engine import ParallelRunner, SchemeSpec
+
+        x, _ = images
+        dense = create_scheme("ttfs-closed-form", converted_micro).run(x)
+        with ParallelRunner(SchemeSpec("ttfs-closed-form", converted_micro),
+                            max_batch=4, workers=1,
+                            backend="event") as runner:
+            event = runner.run(x)
+        assert np.array_equal(dense.predictions(), event.predictions())
+        assert dense.total_spikes == event.total_spikes
+
+    def test_parallel_backend_ignored_by_backend_less_schemes(self,
+                                                              converted_micro):
+        # same tolerance as the serial runner: a factory that takes no
+        # backend kwarg must still build under an explicit backend
+        from repro.engine import ParallelRunner, SchemeSpec, register_scheme
+        from repro.engine.registry import _FACTORIES
+
+        class Plain:
+            def __init__(self, snn):
+                self.snn = snn
+
+            def run(self, images):
+                return len(images)
+
+            def merge(self, results):
+                return sum(results)
+
+        register_scheme("test-plain", lambda snn: Plain(snn))
+        try:
+            with ParallelRunner(SchemeSpec("test-plain", converted_micro),
+                                max_batch=2, workers=1,
+                                backend="event") as runner:
+                assert runner.run(np.zeros((5, 1, 1, 1))) == 5
+        finally:
+            _FACTORIES.pop("test-plain", None)
+
+    def test_event_backend_pools_without_dense_trains(self, converted_micro,
+                                                      images):
+        # the inter-layer state of an event-backend TTFS run really is
+        # an EventStream (regression guard for silent densification)
+        from repro.engine.executor import ExecutionContext
+        from repro.events import EventStream
+
+        x, _ = images
+        scheme = create_scheme("ttfs-closed-form", converted_micro,
+                               backend="event")
+        state = scheme.encode_input(x, ExecutionContext())
+        assert isinstance(state, EventStream)
+
+    def test_unknown_backend_suggests_closest_match(self, converted_micro):
+        with pytest.raises(ValueError,
+                           match="unknown backend 'evnt'.*did you mean "
+                                 "'event'"):
+            create_scheme("ttfs-closed-form", converted_micro,
+                          backend="evnt")
+        from repro.engine import available_backends
+
+        assert available_backends() == ["dense", "event"]
+
+
 class TestFireSweepVectorisation:
     """The cumulative fire formulation equals the per-timestep loop."""
 

@@ -44,6 +44,17 @@ class TestEncodeCorrectness:
         res = encoder.encode(np.array([0.9, 0.3]))
         assert res.spike_times[0] < res.spike_times[1]
 
+    def test_result_stream_is_the_sorted_event_view(self, encoder, rng):
+        from repro.events import EventStream
+
+        vmems = rng.random(48)
+        res = encoder.encode(vmems)
+        assert isinstance(res.stream, EventStream)
+        assert res.stream.is_sorted
+        assert np.array_equal(res.stream.to_dense(), res.spike_times)
+        assert res.events == list(res.stream)
+        assert res.num_spikes == res.stream.num_events
+
     def test_batch_limit(self, encoder):
         with pytest.raises(ValueError):
             encoder.encode(np.zeros(129))

@@ -37,6 +37,16 @@ class TestMinFind:
         res = unit.sort_train(train)
         assert res.events == list(train.sorted_events())
 
+    def test_sort_train_accepts_event_streams(self):
+        times = np.array([3, 0, NO_SPIKE, 1, 0])
+        train = SpikeTrain(times, window=4)
+        unit = MinFindUnit(ways=4)
+        from_train = unit.sort_train(train)
+        from_stream = unit.sort_train(train.to_events())
+        assert from_stream.events == from_train.events
+        assert from_stream.cycles == from_train.cycles
+        assert from_stream.cycles == train.num_spikes + unit.tree_depth
+
 
 class TestInputBuffer:
     def test_capacity_from_48kb(self):

@@ -114,6 +114,31 @@ class TestAccuracy:
         assert acc_o >= acc_r - 0.05
 
 
+class TestEventStreams:
+    def test_layer_event_streams_match_forward_value(self, relu_model,
+                                                     tiny_dataset):
+        """The taps must consume the same kernels the evaluation uses:
+        one stream per pipeline stage, decode-consistent, one spike max
+        per neuron."""
+        cfg = T2FSNNConfig(window=16, tau=4.0, optimize_kernels=False)
+        snn = convert_t2fsnn(relu_model, cfg, tiny_dataset.train_x[:32])
+        x = tiny_dataset.test_x[:6]
+        streams = snn.layer_event_streams(x)
+        # input encoding + every hidden weight layer (output never fires)
+        assert len(streams) == len(snn.weight_layers)
+        assert all(s.window == cfg.window for s in streams)
+        assert all(s.is_sorted for s in streams)
+        assert streams[0].shape == x.shape
+        assert snn.total_spikes(x) == sum(s.num_spikes for s in streams)
+        # decoding the input stream reproduces the quantised input of
+        # forward_value exactly
+        xn = x / max(float(x.max()), 1e-12)
+        assert np.allclose(
+            streams[0].decode(snn.input_kernel, cfg.theta0),
+            _quantize_exp(np.asarray(xn, dtype=np.float64),
+                          snn.input_kernel, cfg.window, cfg.theta0))
+
+
 class TestQuantizeExp:
     def test_grid_fixed_points(self):
         k = ExpKernel(tau=8.0, t_d=2.0)

@@ -13,12 +13,15 @@ class TestCommands:
 
     def test_info_lists_schemes_stages_and_presets(self, capsys):
         from repro.api import available_presets, available_stages
-        from repro.engine import available_schemes
+        from repro.engine import available_backends, available_schemes
 
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         for scheme in available_schemes():
             assert scheme in out
+        for backend in available_backends():
+            assert backend in out
+        assert "backends" in out
         for stage in available_stages():
             assert stage in out
         for preset in available_presets():
@@ -71,6 +74,12 @@ class TestSimulateCommand:
         assert "--max-batch" in capsys.readouterr().err
         assert main(["simulate", "--limit", "-1"]) == 2
         assert "--limit" in capsys.readouterr().err
+
+    def test_unknown_backend_is_a_usage_error_with_suggestion(self, capsys):
+        assert main(["simulate", "--backend", "evnt"]) == 2
+        err = capsys.readouterr().err
+        assert "simulate.backend" in err
+        assert "did you mean 'event'" in err
 
     def test_bad_training_params_are_usage_errors(self, capsys):
         assert main(["simulate", "--epochs", "0"]) == 2
@@ -132,6 +141,13 @@ class TestRunCommand:
     def test_unknown_preset_is_a_usage_error_with_suggestion(self, capsys):
         assert main(["run", "--preset", "micro-smok"]) == 2
         assert "did you mean 'micro-smoke'" in capsys.readouterr().err
+
+    def test_unknown_backend_override_is_a_usage_error(self, capsys):
+        assert main(["run", "--preset", "micro-smoke",
+                     "--backend", "evnt"]) == 2
+        err = capsys.readouterr().err
+        assert "simulate.backend" in err
+        assert "did you mean 'event'" in err
 
     def test_invalid_config_is_a_usage_error_with_suggestion(self, capsys,
                                                              tmp_path):
