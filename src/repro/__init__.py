@@ -13,13 +13,14 @@ engine   : unified layer-walk core + batched runner + scheme registry
 api      : declarative experiment pipelines (config -> stages -> report)
 snn      : event-driven TTFS simulator + T2FSNN baseline
 quant    : logarithmic weight quantisation + LUT/shift arithmetic
+serve    : versioned model artifacts + registry + prediction server
 hw       : SNN processor model (SpinalFlow-derived) + Table 4 baselines
 analysis : metrics, reporting, paper reference constants
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, api, cat, data, engine, hw, nn, optim, quant, snn, tensor
+from . import analysis, api, cat, data, engine, hw, nn, optim, quant, serve, snn, tensor
 
 __all__ = [
     "analysis",
@@ -31,6 +32,7 @@ __all__ = [
     "nn",
     "optim",
     "quant",
+    "serve",
     "snn",
     "tensor",
     "__version__",

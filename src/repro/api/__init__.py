@@ -23,6 +23,7 @@ from .config import (
     ARCHITECTURES,
     DEFAULT_STAGES,
     AnalysisConfig,
+    ArtifactConfig,
     ConfigError,
     ConvertConfig,
     DatasetConfig,
@@ -45,6 +46,7 @@ from .experiment import (
 )
 from .presets import (
     PRESETS,
+    artifact_simulate_config,
     available_presets,
     preset_config,
     simulate_config,
@@ -53,11 +55,13 @@ from .presets import (
 )
 from .stages import (
     ConvertStage,
+    ExportStage,
     HardwareStage,
     PipelineContext,
     PipelineError,
     PipelineStage,
     QuantizeStage,
+    RestoreStage,
     SimulateStage,
     Stage,
     TrainStage,
@@ -70,6 +74,7 @@ __all__ = [
     "ARCHITECTURES",
     "DEFAULT_STAGES",
     "AnalysisConfig",
+    "ArtifactConfig",
     "ConfigError",
     "ConvertConfig",
     "DatasetConfig",
@@ -88,17 +93,20 @@ __all__ = [
     "StageRecord",
     "run_experiment",
     "PRESETS",
+    "artifact_simulate_config",
     "available_presets",
     "preset_config",
     "simulate_config",
     "train_config",
     "train_micro_snn",
     "ConvertStage",
+    "ExportStage",
     "HardwareStage",
     "PipelineContext",
     "PipelineError",
     "PipelineStage",
     "QuantizeStage",
+    "RestoreStage",
     "SimulateStage",
     "Stage",
     "TrainStage",

@@ -161,10 +161,15 @@ class SimulateConfig:
 
     def __post_init__(self):
         from ..engine import available_backends, available_schemes
+        from ..engine.registry import scheme_aliases
 
-        if self.scheme not in available_schemes():
+        # aliases ("ttfs") are accepted here and resolved canonically by
+        # the engine registry when the simulate stage builds the scheme
+        if (self.scheme not in available_schemes()
+                and self.scheme not in scheme_aliases()):
             raise ConfigError("simulate.scheme: " + unknown_name_message(
-                "coding scheme", self.scheme, available_schemes()))
+                "coding scheme", self.scheme, available_schemes(),
+                aliases=scheme_aliases()))
         if self.backend not in available_backends():
             raise ConfigError("simulate.backend: " + unknown_name_message(
                 "backend", self.backend, available_backends()))
@@ -187,6 +192,21 @@ class HardwareConfig:
                 "firing profile", self.profile, HW_PROFILES))
         if not 0.0 <= self.uniform_rate <= 1.0:
             raise ConfigError("hardware.uniform_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ArtifactConfig:
+    """Where the ``export``/``restore`` stages write/read a model bundle.
+
+    ``path`` is the :class:`~repro.serve.ModelArtifact` bundle directory;
+    ``name`` overrides the manifest's model name (default: the
+    experiment name); ``include_model`` also bundles the trained ANN
+    state dict for later re-derivation.
+    """
+
+    path: str = ""
+    name: str = ""
+    include_model: bool = True
 
 
 @dataclass(frozen=True)
@@ -214,6 +234,7 @@ SECTION_TYPES: Dict[str, type] = {
     "quantize": QuantizeConfig,
     "simulate": SimulateConfig,
     "hardware": HardwareConfig,
+    "artifact": ArtifactConfig,
     "analysis": AnalysisConfig,
 }
 
@@ -231,6 +252,7 @@ class ExperimentConfig:
     quantize: QuantizeConfig = field(default_factory=QuantizeConfig)
     simulate: SimulateConfig = field(default_factory=SimulateConfig)
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    artifact: ArtifactConfig = field(default_factory=ArtifactConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
 
     def __post_init__(self):

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from .config import (
     AnalysisConfig,
+    ArtifactConfig,
     ConvertConfig,
     DatasetConfig,
     ExperimentConfig,
@@ -78,6 +79,32 @@ def simulate_config(dataset: str, scheme: str, max_batch: int, window: int,
         dataset=dataset, window=window, tau=tau, epochs=epochs, seed=seed,
         scheme=scheme, max_batch=max_batch, limit=limit, backend=backend,
         name=f"simulate-{scheme}")
+
+
+def artifact_simulate_config(artifact_path, dataset: str = "mini-cifar10",
+                             scheme: str = "", max_batch: int = 0,
+                             limit: int = 0, backend: str = "",
+                             name: str = "artifact-simulate"
+                             ) -> ExperimentConfig:
+    """``repro simulate --artifact``: restore a bundle, then simulate.
+
+    Scheme/backend/max_batch default to what the bundle's manifest
+    recorded at build time; pass non-empty/non-zero values to override.
+    """
+    from ..serve import ModelArtifact
+
+    # manifest-only read: the restore stage load()s (and so digest-
+    # verifies) the bundle once, when the pipeline actually runs
+    artifact = ModelArtifact.peek(artifact_path)
+    return ExperimentConfig(
+        name=name, stages=("restore", "simulate"),
+        dataset=DatasetConfig(name=dataset),
+        simulate=SimulateConfig(
+            scheme=scheme or artifact.scheme,
+            backend=backend or artifact.backend,
+            max_batch=max_batch or artifact.max_batch,
+            limit=limit),
+        artifact=ArtifactConfig(path=str(artifact_path)))
 
 
 def fig2_config(window: int = 24, tau: float = 4.0) -> ExperimentConfig:

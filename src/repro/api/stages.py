@@ -481,6 +481,91 @@ class HardwareStage(PipelineStage):
 
 
 # ----------------------------------------------------------------------
+# Build/run boundary stages: emit and consume ModelArtifact bundles
+# ----------------------------------------------------------------------
+
+@register_stage("export")
+class ExportStage(PipelineStage):
+    """Write the pipeline's build products as a ModelArtifact bundle.
+
+    Uncached by design: the bundle on disk *is* the persistent output,
+    and rewriting it is cheaper than round-tripping it through the
+    stage cache.
+    """
+
+    name = "export"
+
+    def run(self, ctx):
+        from .config import config_to_dict
+        from ..serve import ModelArtifact
+
+        snn = ctx.require("snn", self.name, "convert")
+        cfg = self.config.artifact
+        if not cfg.path:
+            raise PipelineError(
+                "stage 'export' needs artifact.path set in the config "
+                "(the bundle directory to write)")
+        quantization = None
+        if "quantize" in ctx.metrics:
+            quantization = {"bits": self.config.quantize.bits,
+                            "z_w": self.config.quantize.z_w}
+        input_shape = (tuple(ctx.dataset.image_shape)
+                       if ctx.dataset is not None else None)
+        artifact = ModelArtifact.save(
+            cfg.path, snn, name=cfg.name or self.config.name,
+            scheme=self.config.simulate.scheme,
+            backend=self.config.simulate.backend,
+            max_batch=self.config.simulate.max_batch,
+            quantization=quantization, input_shape=input_shape,
+            config=config_to_dict(self.config),
+            metrics={k: v for k, v in ctx.metrics.items()},
+            model=ctx.model if cfg.include_model else None,
+            overwrite=True)
+        ctx.artifacts["model_artifact"] = artifact
+        ctx.metrics["export"] = {
+            "path": str(artifact.path),
+            "schema_version": artifact.manifest["schema_version"],
+            "files": sorted(artifact.manifest["files"]),
+        }
+        return ctx
+
+
+@register_stage("restore")
+class RestoreStage(PipelineStage):
+    """Load a ModelArtifact bundle into the context (skips build time).
+
+    The run-time entry point of a pipeline: ``("restore", "simulate")``
+    evaluates a prebuilt bundle without ever touching train/convert/
+    quantize.
+    """
+
+    name = "restore"
+
+    def run(self, ctx):
+        from ..serve import ArtifactError, ModelArtifact
+
+        cfg = self.config.artifact
+        if not cfg.path:
+            raise PipelineError(
+                "stage 'restore' needs artifact.path set in the config "
+                "(the bundle directory to read)")
+        try:
+            artifact = ModelArtifact.load(cfg.path)
+        except ArtifactError as exc:
+            raise PipelineError(str(exc)) from None
+        ctx.snn = artifact.snn
+        ctx.artifacts["model_artifact"] = artifact
+        ctx.metrics["restore"] = {
+            "path": str(artifact.path),
+            "name": artifact.name,
+            "scheme": artifact.scheme,
+            "backend": artifact.backend,
+            "quantization": artifact.quantization,
+        }
+        return ctx
+
+
+# ----------------------------------------------------------------------
 # Analytic stages (instant paper artefacts; uncached by design)
 # ----------------------------------------------------------------------
 

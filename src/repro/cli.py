@@ -10,15 +10,26 @@ Fast, self-contained entry points into the reproduction:
 * ``table4`` — processor comparison on exact VGG-16 geometry (instant);
 * ``train``  — run a small CAT training + conversion demo (~1 min);
 * ``latency``— TTFS pipeline latency calculator (Table 2 formula);
-* ``simulate``— train a small model, then run it through any registered
-  coding scheme with the batched engine runner;
+* ``simulate``— run a coding scheme with the batched engine runner,
+  either after a fresh micro-training or straight from a prebuilt
+  ``--artifact`` bundle (no training at all);
 * ``evaluate``— sweep scheme x max-timestep x batch grids through the
-  process-parallel, result-cached runner and emit a JSON report.
+  process-parallel, result-cached runner and emit a JSON report;
+* ``build``  — run a config's build stages (train/convert/quantize) and
+  write a versioned :class:`repro.serve.ModelArtifact` bundle, or
+  publish it into a model registry;
+* ``serve``  — stdlib prediction server over a model registry (JSON,
+  micro-batched, one warm session per model);
+* ``predict``— client for ``serve``: send dataset images, print (and
+  optionally save) the predictions and the per-request cost metrics.
 
 Every subcommand is a thin wrapper: it builds an
 :class:`repro.api.ExperimentConfig` (see :mod:`repro.api.presets`) and
 hands it to the same :class:`repro.api.Experiment` driver that ``repro
-run`` exposes directly, so the CLI contains presentation logic only.
+run`` exposes directly — or, for the serving commands, to the
+``repro.serve`` run-time layer — so the CLI contains presentation
+logic only.  Parser construction is one ``_add_<cmd>_parser`` helper
+per command, all chained by :func:`build_parser`.
 
 The full table/figure regeneration lives in ``benchmarks/`` (pytest).
 """
@@ -31,19 +42,23 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from . import __version__
+
 
 def _cmd_info(args) -> int:
-    from . import __version__
     from .api import available_presets, available_stages
-    from .engine import available_backends, available_schemes
+    from .engine import available_backends, available_schemes, scheme_aliases
 
     print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
     print(__doc__)
     print("subsystems    : tensor, nn, optim, data, cat, events, engine, "
-          "api, snn, quant, hw, analysis")
+          "api, snn, quant, hw, serve, analysis")
     print("artefacts     : fig2 fig3 fig4 fig6 table1 table2 table4 "
           "(see benchmarks/)")
-    print(f"coding schemes: {', '.join(available_schemes())}")
+    aliases = ", ".join(f"{a} -> {t}"
+                        for a, t in sorted(scheme_aliases().items()))
+    print(f"coding schemes: {', '.join(available_schemes())}"
+          + (f" (aliases: {aliases})" if aliases else ""))
     print(f"backends      : {', '.join(available_backends())}")
     print(f"pipeline stages: {', '.join(available_stages())}")
     print(f"run presets   : {', '.join(available_presets())}")
@@ -60,39 +75,51 @@ def _run_config(config, cache=None, context=None, on_stage_start=None,
                       on_stage_end=on_stage_end).run(context=context)
 
 
-def _cmd_run(args) -> int:
-    import dataclasses
-    import json
-    import pathlib
+def _load_cli_config(args, command: str):
+    """Config from the shared config-file/--preset flag pair, or None.
 
-    from .api import (
-        ConfigError,
-        PipelineError,
-        config_from_file,
-        preset_config,
-    )
-    from .engine import ResultCache
+    Prints the usage error and returns ``None`` on failure (the caller
+    returns exit code 2).
+    """
+    from .api import ConfigError, config_from_file, preset_config
 
     try:
         if bool(args.config) == bool(args.preset):
             raise ConfigError(
                 "give exactly one of a config file path or --preset "
-                "(see 'repro run --help')")
+                f"(see 'repro {command} --help')")
+        return (preset_config(args.preset) if args.preset
+                else config_from_file(args.config))
+    except (ConfigError, KeyError, OSError) as exc:
+        # KeyError str() would re-quote the message; OSError.args[0] is
+        # just the errno — unwrap only the former
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"repro {command}: error: {message}", file=sys.stderr)
+        return None
+
+
+def _cmd_run(args) -> int:
+    import dataclasses
+    import json
+    import pathlib
+
+    from .api import ConfigError, PipelineError
+    from .engine import ResultCache
+
+    config = _load_cli_config(args, "run")
+    if config is None:
+        return 2
+    try:
         if args.report:
             pathlib.Path(args.report).parent.mkdir(parents=True,
                                                    exist_ok=True)
-        config = (preset_config(args.preset) if args.preset
-                  else config_from_file(args.config))
         if args.backend:
             # replace re-runs SimulateConfig validation, so an unknown
             # backend gets the usual closest-match error
             config = dataclasses.replace(config, simulate=dataclasses.replace(
                 config.simulate, backend=args.backend))
-    except (ConfigError, KeyError, OSError) as exc:
-        # KeyError str() would re-quote the message; OSError.args[0] is
-        # just the errno — unwrap only the former
-        message = exc.args[0] if isinstance(exc, KeyError) else exc
-        print(f"repro run: error: {message}", file=sys.stderr)
+    except (ConfigError, OSError) as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
         return 2
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -220,12 +247,16 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .api import ConfigError, PipelineContext
-    from .api.presets import simulate_config
-    from .data import load
-    from .engine import ResultCache
+    import json
+    import pathlib
 
-    if args.max_batch < 1:
+    from .api import ConfigError, PipelineContext
+    from .api.presets import artifact_simulate_config, simulate_config
+    from .data import load
+    from .engine import ResultCache, result_predictions
+    from .serve import ArtifactError
+
+    if args.max_batch is not None and args.max_batch < 1:
         print("repro simulate: error: --max-batch must be >= 1",
               file=sys.stderr)
         return 2
@@ -235,12 +266,21 @@ def _cmd_simulate(args) -> int:
         return 2
 
     try:
-        config = simulate_config(dataset=args.dataset, scheme=args.scheme,
-                                 max_batch=args.max_batch,
-                                 window=args.window, tau=args.tau,
-                                 epochs=args.epochs, seed=args.seed,
-                                 limit=args.limit, backend=args.backend)
-    except ConfigError as exc:
+        if args.artifact:
+            # run-time path: restore the prebuilt bundle, skip training
+            config = artifact_simulate_config(
+                args.artifact, dataset=args.dataset,
+                scheme=args.scheme or "", backend=args.backend or "",
+                max_batch=args.max_batch or 0, limit=args.limit)
+        else:
+            config = simulate_config(
+                dataset=args.dataset,
+                scheme=args.scheme or "ttfs-closed-form",
+                max_batch=args.max_batch or 32,
+                window=args.window, tau=args.tau,
+                epochs=args.epochs, seed=args.seed, limit=args.limit,
+                backend=args.backend or "dense")
+    except (ConfigError, ArtifactError) as exc:
         print(f"repro simulate: error: {exc}", file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -248,19 +288,22 @@ def _cmd_simulate(args) -> int:
     num_images = len(dataset.test_x)
     if args.limit:
         num_images = min(num_images, args.limit)
+    sim = config.simulate
 
     def stage_started(stage):
         if stage.name == "train":
             print(f"training vgg_micro on {dataset.name} "
                   f"(T={args.window}, tau={args.tau:g}, "
                   f"{args.epochs} epochs)")
+        elif stage.name == "restore":
+            print(f"restoring artifact bundle {args.artifact}")
         elif stage.name == "simulate":
-            chunks = -(-num_images // args.max_batch)
-            backend = (f", backend '{args.backend}'"
-                       if args.backend != "dense" else "")
+            chunks = -(-num_images // sim.max_batch)
+            backend = (f", backend '{sim.backend}'"
+                       if sim.backend != "dense" else "")
             print(f"simulating {num_images} images with scheme "
-                  f"'{args.scheme}'{backend} ({chunks} chunk(s) of <= "
-                  f"{args.max_batch})")
+                  f"'{sim.scheme}'{backend} ({chunks} chunk(s) of <= "
+                  f"{sim.max_batch})")
 
     def stage_done(record):
         if record.status == "cached":
@@ -286,6 +329,18 @@ def _cmd_simulate(args) -> int:
         if value is not None:
             print(f"{label}: {value:.4f}" if isinstance(value, float)
                   else f"{label}: {value}")
+    if args.predictions:
+        preds = result_predictions(report.context.sim_result)
+        path = pathlib.Path(args.predictions)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "scheme": sim.scheme,
+            "backend": sim.backend,
+            "num_images": int(num_images),
+            "accuracy": metrics["accuracy"],
+            "predictions": [int(p) for p in preds],
+        }, indent=2) + "\n")
+        print(f"predictions written to {path}")
     return 0
 
 
@@ -297,6 +352,7 @@ def _cmd_evaluate(args) -> int:
     from .api import ConfigError, train_micro_snn
     from .data import load
     from .engine import ResultCache, SweepGrid, available_schemes, run_sweep
+    from .serve import ArtifactError, ModelArtifact
 
     try:
         if args.workers < 1:
@@ -339,12 +395,16 @@ def _cmd_evaluate(args) -> int:
             print(f"  ({record.name} stage replayed from cache)")
 
     try:
-        snn = train_micro_snn(args.dataset, max(grid.windows), args.tau,
-                              args.epochs, args.seed, cache=cache,
-                              preloaded=dataset,
-                              on_stage_start=stage_started,
-                              on_stage_end=stage_done)
-    except ConfigError as exc:
+        if args.artifact:
+            print(f"evaluating artifact bundle {args.artifact}")
+            snn = ModelArtifact.load(args.artifact).snn
+        else:
+            snn = train_micro_snn(args.dataset, max(grid.windows), args.tau,
+                                  args.epochs, args.seed, cache=cache,
+                                  preloaded=dataset,
+                                  on_stage_start=stage_started,
+                                  on_stage_end=stage_done)
+    except (ConfigError, ArtifactError) as exc:
         print(f"repro evaluate: error: {exc}", file=sys.stderr)
         return 2
     x, y = dataset.test_x, dataset.test_y
@@ -372,14 +432,150 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
-    sub = parser.add_subparsers(dest="command", required=True)
+def _cmd_build(args) -> int:
+    import pathlib
+    import tempfile
 
+    from .api import PipelineError
+    from .engine import ResultCache
+    from .serve import ArtifactError, ModelArtifact, ModelRegistry
+
+    if bool(args.out) == bool(args.registry):
+        print("repro build: error: give exactly one of --out BUNDLE_DIR "
+              "or --registry REGISTRY_DIR", file=sys.stderr)
+        return 2
+    config = _load_cli_config(args, "build")
+    if config is None:
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    build_stages = [s for s in config.stages
+                    if s in ("train", "convert", "quantize")]
+    print(f"building artifact from '{config.name}' — stages: "
+          f"{' -> '.join(build_stages)}"
+          + (f" (cache at {args.cache_dir})" if cache is not None else ""))
+
+    def stage_done(record):
+        marker = " (cached)" if record.status == "cached" else ""
+        print(f"  {record.name:<10s} {record.elapsed_s:8.2f}s{marker}")
+
+    try:
+        if args.out:
+            artifact = ModelArtifact.build(
+                config, args.out, cache=cache, overwrite=args.force,
+                on_stage_end=stage_done)
+            location = f"written to {artifact.path}"
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                built = ModelArtifact.build(
+                    config, pathlib.Path(tmp) / "bundle", cache=cache,
+                    on_stage_end=stage_done)
+                registry = ModelRegistry(args.registry)
+                name, version, artifact = registry.publish(
+                    built, name=args.name or None,
+                    version=args.tag or None)
+            location = (f"published as {name}:{version} in registry "
+                        f"{args.registry}")
+    except (ArtifactError, PipelineError) as exc:
+        print(f"repro build: error: {exc}", file=sys.stderr)
+        return 2
+    quant = artifact.quantization
+    print(f"\nartifact {location}")
+    print(f"  scheme {artifact.scheme}, backend {artifact.backend}, "
+          f"max_batch {artifact.max_batch}, quantization "
+          + (f"{quant['bits']}-bit log (z_w={quant['z_w']})" if quant
+             else "none"))
+    print(f"  files: {', '.join(sorted(artifact.manifest['files']))} "
+          f"(schema v{artifact.manifest['schema_version']})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ArtifactError, ModelRegistry, PredictionServer
+
+    try:
+        registry = ModelRegistry(args.registry, create=False)
+    except ArtifactError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    names = registry.names()
+    if not names:
+        print(f"repro serve: error: registry {args.registry} holds no "
+              "models; publish one with 'repro build ... --registry "
+              f"{args.registry}'", file=sys.stderr)
+        return 2
+    server = PredictionServer(
+        registry, host=args.host, port=args.port,
+        scheme=args.scheme or None, backend=args.backend or None,
+        max_batch=args.max_batch or None,
+        batch_wait_s=args.batch_wait_ms / 1000.0)
+    server.start()
+    print(f"serving {len(names)} model(s) on {server.url}: "
+          f"{', '.join(names)}")
+    print("endpoints: GET /healthz, GET /models, POST /predict "
+          "(Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    import json
+    import pathlib
+
+    from .data import load
+    from .serve import ServerError, predict_remote
+
+    if args.limit < 0:
+        print("repro predict: error: --limit must be >= 0",
+              file=sys.stderr)
+        return 2
+    dataset = load(args.dataset)
+    x, y = dataset.test_x, dataset.test_y
+    if args.limit:
+        x, y = x[:args.limit], y[:args.limit]
+    try:
+        response = predict_remote(args.url, args.model, x)
+    except ServerError as exc:
+        print(f"repro predict: error: {exc}", file=sys.stderr)
+        return 2
+    preds = response["predictions"]
+    metrics = response["metrics"]
+    accuracy = float((np.asarray(preds) == y[:len(preds)]).mean())
+    print(f"model     : {response['model']}  "
+          f"(scheme {metrics['scheme']}, backend {metrics['backend']})")
+    shown = " ".join(str(p) for p in preds[:32])
+    print(f"predictions: {shown}"
+          + (f" … ({len(preds)} total)" if len(preds) > 32 else ""))
+    print(f"accuracy  : {accuracy:.3f} over {len(preds)} image(s)")
+    print(f"latency   : {1e3 * metrics['latency_s']:.1f} ms "
+          f"({metrics['num_batches']} batch(es) of "
+          f"{metrics['batch_sizes']})")
+    for key, label in (("total_spikes", "spikes    "),
+                       ("total_sops", "SOPs      ")):
+        if metrics.get(key) is not None:
+            print(f"{label}: {metrics[key]}")
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "model": response["model"],
+            "predictions": preds,
+            "accuracy": accuracy,
+            "metrics": metrics,
+        }, indent=2) + "\n")
+        print(f"response written to {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser construction: one helper per subcommand
+# ----------------------------------------------------------------------
+
+def _add_info_parser(sub) -> None:
     sub.add_parser("info", help="package inventory").set_defaults(
         fn=_cmd_info)
 
+
+def _add_run_parser(sub) -> None:
     p = sub.add_parser(
         "run", help="run a declarative experiment pipeline config")
     p.add_argument("config", nargs="?", default=None,
@@ -396,22 +592,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the ExperimentReport JSON here")
     p.set_defaults(fn=_cmd_run)
 
+
+def _add_fig2_parser(sub) -> None:
     p = sub.add_parser("fig2", help="activation error curves")
     p.add_argument("--window", type=int, default=24)
     p.add_argument("--tau", type=float, default=4.0)
     p.set_defaults(fn=_cmd_fig2)
 
+
+def _add_fig6_parser(sub) -> None:
     sub.add_parser("fig6", help="PE-array savings").set_defaults(
         fn=_cmd_fig6)
+
+
+def _add_table4_parser(sub) -> None:
     sub.add_parser("table4", help="processor comparison").set_defaults(
         fn=_cmd_table4)
 
+
+def _add_latency_parser(sub) -> None:
     p = sub.add_parser("latency", help="TTFS pipeline latency")
     p.add_argument("--layers", type=int, default=16)
     p.add_argument("--window", type=int, default=24)
     p.add_argument("--early-firing", action="store_true")
     p.set_defaults(fn=_cmd_latency)
 
+
+def _add_train_parser(sub) -> None:
     p = sub.add_parser("train", help="CAT training demo")
     p.add_argument("--dataset", default="mini-cifar10",
                    help="named dataset (see repro.data.available())")
@@ -425,19 +632,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_train)
 
-    from .engine import available_schemes
 
+def _add_simulate_parser(sub) -> None:
     p = sub.add_parser("simulate",
                        help="run a coding scheme via the batched engine")
-    p.add_argument("--scheme", choices=available_schemes(),
-                   default="ttfs-closed-form")
-    p.add_argument("--backend", default="dense",
+    p.add_argument("--scheme", default=None,
+                   help="registered coding scheme or alias (see 'repro "
+                        "info'); defaults to ttfs-closed-form, or the "
+                        "artifact's recorded scheme with --artifact")
+    p.add_argument("--backend", default=None,
                    help="execution backend: dense | event "
                         "(see 'repro info')")
+    p.add_argument("--artifact", default=None,
+                   help="prebuilt ModelArtifact bundle directory; skips "
+                        "train/convert/quantize entirely")
     p.add_argument("--dataset", default="mini-cifar10",
                    help="named dataset (see repro.data.available())")
-    p.add_argument("--max-batch", type=int, default=32,
-                   help="images per simulation chunk")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="images per simulation chunk (default 32, or "
+                        "the artifact's recorded value with --artifact)")
     p.add_argument("--window", type=int, default=8)
     p.add_argument("--tau", type=float, default=2.0)
     p.add_argument("--epochs", type=int, default=2)
@@ -447,8 +660,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="stage-cache directory (repeat runs skip "
                         "training and simulation)")
+    p.add_argument("--predictions", default=None,
+                   help="write the per-image predicted classes as JSON "
+                        "here (for parity checks against 'repro "
+                        "predict')")
     p.set_defaults(fn=_cmd_simulate)
 
+
+def _add_evaluate_parser(sub) -> None:
     p = sub.add_parser(
         "evaluate",
         help="sweep scheme x window x batch grids with the cached "
@@ -459,6 +678,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated max timesteps (coding windows)")
     p.add_argument("--max-batches", default="32",
                    help="comma-separated chunk sizes")
+    p.add_argument("--artifact", default=None,
+                   help="sweep a prebuilt ModelArtifact bundle instead "
+                        "of training the micro model")
     p.add_argument("--dataset", default="mini-cifar10",
                    help="named dataset (see repro.data.available())")
     p.add_argument("--limit", type=int, default=0,
@@ -474,6 +696,87 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_evaluate)
 
+
+def _add_build_parser(sub) -> None:
+    p = sub.add_parser(
+        "build",
+        help="run a config's build stages and write a versioned "
+             "ModelArtifact bundle")
+    p.add_argument("config", nargs="?", default=None,
+                   help="JSON or TOML experiment config file")
+    p.add_argument("--preset", default=None,
+                   help="named preset instead of a config file "
+                        "(see 'repro info')")
+    p.add_argument("--out", default=None,
+                   help="bundle directory to write")
+    p.add_argument("--registry", default=None,
+                   help="publish into this model-registry root instead "
+                        "of --out")
+    p.add_argument("--name", default=None,
+                   help="registry model name (default: the config's "
+                        "experiment name)")
+    p.add_argument("--tag", default=None,
+                   help="registry version tag (default: next v<n>)")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite an existing bundle at --out")
+    p.add_argument("--cache-dir", default=None,
+                   help="stage-cache directory (repeat builds resume)")
+    p.set_defaults(fn=_cmd_build)
+
+
+def _add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="serve every model in a registry over HTTP (JSON, "
+             "micro-batched)")
+    p.add_argument("--registry", required=True,
+                   help="model-registry root directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8378,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--scheme", default=None,
+                   help="override every session's coding scheme")
+    p.add_argument("--backend", default=None,
+                   help="override every session's execution backend")
+    p.add_argument("--max-batch", type=int, default=0,
+                   help="override the artifacts' max_batch (0 = keep)")
+    p.add_argument("--batch-wait-ms", type=float, default=5.0,
+                   help="how long a dispatch waits for concurrent "
+                        "requests to coalesce")
+    p.set_defaults(fn=_cmd_serve)
+
+
+def _add_predict_parser(sub) -> None:
+    p = sub.add_parser(
+        "predict",
+        help="send dataset images to a running 'repro serve' and print "
+             "the predictions")
+    p.add_argument("--url", default="http://127.0.0.1:8378",
+                   help="prediction-server base URL")
+    p.add_argument("--model", required=True,
+                   help="model spec: name, name:version or name:alias")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset whose test split is sent")
+    p.add_argument("--limit", type=int, default=8,
+                   help="cap the number of test images (0 = all)")
+    p.add_argument("--output", default=None,
+                   help="write the JSON response (plus accuracy) here")
+    p.set_defaults(fn=_cmd_predict)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for add_subparser in (_add_info_parser, _add_run_parser,
+                          _add_fig2_parser, _add_fig6_parser,
+                          _add_table4_parser, _add_latency_parser,
+                          _add_train_parser, _add_simulate_parser,
+                          _add_evaluate_parser, _add_build_parser,
+                          _add_serve_parser, _add_predict_parser):
+        add_subparser(sub)
     return parser
 
 

@@ -44,6 +44,9 @@ from .registry import (
     create_scheme,
     get_scheme,
     register_scheme,
+    register_scheme_alias,
+    resolve_scheme_name,
+    scheme_aliases,
 )
 from .runner import (
     PipelineRunner,
@@ -80,6 +83,9 @@ __all__ = [
     "create_scheme",
     "get_scheme",
     "register_scheme",
+    "register_scheme_alias",
+    "resolve_scheme_name",
+    "scheme_aliases",
     "PipelineRunner",
     "chunk_bounds",
     "merge_traces",

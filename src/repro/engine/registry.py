@@ -34,6 +34,12 @@ _BUILTIN_PROVIDERS: Dict[str, str] = {
     "fixed-point": "repro.hw.tilesim",
 }
 
+#: Shorthand -> canonical scheme name, resolved by every lookup path.
+_ALIASES: Dict[str, str] = {
+    "ttfs": "ttfs-closed-form",
+    "fp": "fixed-point",
+}
+
 
 def register_scheme(name: str, factory: Callable = None):
     """Register ``factory(snn, **options)`` under ``name`` (decorator-able)."""
@@ -46,8 +52,43 @@ def register_scheme(name: str, factory: Callable = None):
     return _register
 
 
+def register_scheme_alias(alias: str, target: str) -> None:
+    """Make ``alias`` resolve to the registered scheme ``target``."""
+    if target not in available_schemes():
+        from ..util import unknown_name_message
+
+        raise KeyError(unknown_name_message(
+            "coding scheme", target, available_schemes(),
+            aliases=scheme_aliases()))
+    _ALIASES[alias] = target
+
+
+def scheme_aliases() -> Dict[str, str]:
+    """The alias -> canonical-name map (a copy)."""
+    return dict(_ALIASES)
+
+
+def resolve_scheme_name(name: str) -> str:
+    """Canonical scheme name for ``name`` (alias-aware, suggesting).
+
+    A factory genuinely registered under the name wins over an alias of
+    the same spelling, so aliases can never shadow real schemes.
+    """
+    if name not in available_schemes():
+        name = _ALIASES.get(name, name)
+    if name not in available_schemes():
+        from ..util import unknown_name_message
+
+        raise KeyError(unknown_name_message(
+            "coding scheme", name, available_schemes(),
+            aliases=scheme_aliases()))
+    return name
+
+
 def get_scheme(name: str) -> Callable:
     """Look up a scheme factory, importing its builtin provider if needed."""
+    if name not in _FACTORIES and name not in _BUILTIN_PROVIDERS:
+        name = _ALIASES.get(name, name)
     if name not in _FACTORIES and name in _BUILTIN_PROVIDERS:
         importlib.import_module(_BUILTIN_PROVIDERS[name])
     try:
@@ -56,7 +97,8 @@ def get_scheme(name: str) -> Callable:
         from ..util import unknown_name_message
 
         raise KeyError(unknown_name_message(
-            "coding scheme", name, available_schemes())) from None
+            "coding scheme", name, available_schemes(),
+            aliases=scheme_aliases())) from None
 
 
 def create_scheme(name: str, snn, **options):

@@ -26,7 +26,14 @@ from .vgg import (
     vgg_micro,
 )
 from . import init
-from .serialization import load_converted, load_model, save_converted, save_model
+from .serialization import (
+    CONVERTED_FORMAT_VERSION,
+    SerializationError,
+    load_converted,
+    load_model,
+    save_converted,
+    save_model,
+)
 
 __all__ = [
     "Module",
@@ -52,6 +59,8 @@ __all__ = [
     "VGG7_FEATURES",
     "VGG_MICRO_FEATURES",
     "init",
+    "CONVERTED_FORMAT_VERSION",
+    "SerializationError",
     "save_model",
     "load_model",
     "save_converted",

@@ -5,11 +5,20 @@ buffers; ``save_converted`` / ``load_converted`` persist a lowered
 :class:`~repro.cat.convert.ConvertedSNN` together with its coding
 configuration so a trained-and-converted network can ship without its
 training graph.
+
+Converted bundles are *versioned and digested*: the header records
+``format_version`` (:data:`CONVERTED_FORMAT_VERSION`) and a content
+digest over the layer manifest, coding config and weight arrays.  A
+stale, truncated or hand-edited file fails ``load_converted`` with a
+:class:`SerializationError` naming the file and the expected/actual
+version (or digest) instead of surfacing a raw ``KeyError`` from the
+npz internals.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -18,6 +27,14 @@ import numpy as np
 from .module import Module
 
 PathLike = Union[str, Path]
+
+#: Bump when the on-disk converted-SNN layout changes.  Loaders refuse
+#: other versions with an actionable error instead of mis-decoding.
+CONVERTED_FORMAT_VERSION = 1
+
+
+class SerializationError(RuntimeError):
+    """A persisted model file could not be decoded (message says why)."""
 
 
 def save_model(model: Module, path: PathLike, **metadata) -> None:
@@ -47,12 +64,21 @@ def load_model(model: Module, path: PathLike) -> dict:
     return meta
 
 
+def _converted_digest(manifest, config_dict, output_scale, weights) -> str:
+    """Content hash of everything a converted bundle round-trips."""
+    from ..engine.cache import digest
+
+    return digest("converted-snn", CONVERTED_FORMAT_VERSION, manifest,
+                  config_dict, float(output_scale), weights)
+
+
 def save_converted(snn, path: PathLike) -> None:
-    """Persist a ConvertedSNN (layer specs + coding config)."""
+    """Persist a ConvertedSNN (layer specs + coding config), versioned."""
     from dataclasses import asdict
 
     payload = {}
     manifest = []
+    weights = []
     for i, spec in enumerate(snn.layers):
         entry = {
             "kind": spec.kind,
@@ -65,11 +91,16 @@ def save_converted(snn, path: PathLike) -> None:
         if spec.weight is not None:
             payload[f"w/{i}"] = spec.weight
             payload[f"b/{i}"] = spec.bias
+            weights.extend((spec.weight, spec.bias))
         manifest.append(entry)
+    config_dict = asdict(snn.config)
     header = {
+        "format_version": CONVERTED_FORMAT_VERSION,
         "manifest": manifest,
-        "config": asdict(snn.config),
+        "config": config_dict,
         "output_scale": snn.output_scale,
+        "digest": _converted_digest(manifest, config_dict,
+                                    snn.output_scale, weights),
     }
     payload["__header__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8
@@ -78,27 +109,68 @@ def save_converted(snn, path: PathLike) -> None:
 
 
 def load_converted(path: PathLike):
-    """Inverse of :func:`save_converted`."""
+    """Inverse of :func:`save_converted` (with version + digest checks)."""
     from ..cat.convert import ConvertedSNN, LayerSpec
     from ..cat.schedule import CATConfig
 
-    with np.load(path, allow_pickle=False) as data:
-        header = json.loads(bytes(data["__header__"]).decode())
+    path = Path(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"{path}: not a readable converted-SNN file ({exc})") from None
+    with data:
+        if "__header__" not in data.files:
+            raise SerializationError(
+                f"{path}: no __header__ entry — truncated, or not a "
+                "converted-SNN file saved by save_converted()")
+        try:
+            header = json.loads(bytes(data["__header__"]).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"{path}: corrupted header ({exc})") from None
+        found = header.get("format_version")
+        if found != CONVERTED_FORMAT_VERSION:
+            raise SerializationError(
+                f"{path}: converted-SNN format version mismatch — "
+                f"expected {CONVERTED_FORMAT_VERSION}, found "
+                f"{'none (pre-versioning file)' if found is None else found}"
+                "; re-export the bundle with this checkout's "
+                "save_converted()")
         layers = []
-        for i, entry in enumerate(header["manifest"]):
-            weight = data[f"w/{i}"] if entry["has_weight"] else None
-            bias = data[f"b/{i}"] if entry["has_weight"] else None
-            layers.append(LayerSpec(
-                kind=entry["kind"], weight=weight, bias=bias,
-                stride=entry["stride"], padding=entry["padding"],
-                kernel_size=entry["kernel_size"],
-                is_output=entry["is_output"],
-            ))
-    config_kwargs = dict(header["config"])
+        weights = []
+        try:
+            for i, entry in enumerate(header["manifest"]):
+                weight = data[f"w/{i}"] if entry["has_weight"] else None
+                bias = data[f"b/{i}"] if entry["has_weight"] else None
+                if weight is not None:
+                    weights.extend((weight, bias))
+                layers.append(LayerSpec(
+                    kind=entry["kind"], weight=weight, bias=bias,
+                    stride=entry["stride"], padding=entry["padding"],
+                    kernel_size=entry["kernel_size"],
+                    is_output=entry["is_output"],
+                ))
+            config_dict = header["config"]
+            output_scale = header["output_scale"]
+            expected_digest = header["digest"]
+        except KeyError as exc:
+            raise SerializationError(
+                f"{path}: missing entry {exc.args[0]!r} — the file is "
+                "truncated or was written by an incompatible "
+                "save_converted()") from None
+    actual = _converted_digest(header["manifest"], config_dict,
+                               output_scale, weights)
+    if actual != expected_digest:
+        raise SerializationError(
+            f"{path}: content digest mismatch — header says "
+            f"{expected_digest[:12]}…, file hashes to {actual[:12]}… "
+            "(corrupted or hand-edited bundle)")
+    config_kwargs = dict(config_dict)
     # JSON round-trips tuples as lists; CATConfig stores milestones as a
     # tuple and compares by value.
     config_kwargs["milestones"] = tuple(config_kwargs["milestones"])
     config = CATConfig(**config_kwargs)
     snn = ConvertedSNN(layers=layers, config=config)
-    snn.output_scale = header["output_scale"]
+    snn.output_scale = output_scale
     return snn

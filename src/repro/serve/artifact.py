@@ -1,0 +1,293 @@
+"""Versioned on-disk model bundles: the build-time/run-time boundary.
+
+A :class:`ModelArtifact` is a directory holding everything the run-time
+side needs to serve predictions — and *nothing* the build-time side
+needed to produce them (no dataset, no training graph, no optimiser):
+
+```
+bundle/
+  manifest.json   schema version, name, scheme, backend, quantization,
+                  build config + metrics, per-file content digests
+  snn.npz         the converted (and usually log-quantised) SNN
+                  (repro.nn.serialization.save_converted, itself versioned)
+  model.npz       optional: the trained ANN state dict, for re-derivation
+```
+
+``ModelArtifact.build(config, path)`` drives the existing
+:class:`repro.api.Experiment` through the config's *build* stages
+(train → convert → quantize) and writes the bundle;
+``ModelArtifact.load(path)`` verifies the manifest schema version and
+every file's content digest (via :func:`repro.engine.cache.digest`)
+before handing anything to the simulator, so a truncated copy or a
+bundle from an incompatible writer fails with an actionable
+:class:`ArtifactError` instead of garbage predictions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Bump when the bundle layout changes; loaders refuse other versions.
+ARTIFACT_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+SNN_FILE = "snn.npz"
+MODEL_FILE = "model.npz"
+
+#: The pipeline stages that belong to build time, in execution order.
+BUILD_STAGES = ("train", "convert", "quantize")
+
+
+class ArtifactError(RuntimeError):
+    """A model bundle could not be built/loaded (message says why)."""
+
+
+def file_digest(path: Path) -> str:
+    """Content digest of one bundle file (raw bytes, type-tagged)."""
+    from ..engine.cache import digest
+
+    return digest("artifact-file", path.read_bytes())
+
+
+class ModelArtifact:
+    """A loaded (and integrity-checked) model bundle.
+
+    Construction goes through :meth:`build` / :meth:`save` /
+    :meth:`load`; the converted SNN itself is read lazily on first
+    ``.snn`` access so registry listings stay cheap.
+    """
+
+    def __init__(self, path: Path, manifest: Dict[str, Any]):
+        self.path = Path(path)
+        self.manifest = manifest
+        self._snn = None
+
+    # -- manifest accessors --------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.manifest["name"]
+
+    @property
+    def scheme(self) -> str:
+        return self.manifest["scheme"]
+
+    @property
+    def backend(self) -> str:
+        return self.manifest["backend"]
+
+    @property
+    def max_batch(self) -> int:
+        return self.manifest["max_batch"]
+
+    @property
+    def quantization(self) -> Optional[Dict[str, Any]]:
+        return self.manifest.get("quantization")
+
+    @property
+    def input_shape(self) -> Optional[tuple]:
+        shape = self.manifest.get("input_shape")
+        return tuple(shape) if shape else None
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        return self.manifest.get("metrics", {})
+
+    @property
+    def snn(self):
+        """The converted SNN, loaded once and memoised."""
+        if self._snn is None:
+            from ..nn.serialization import SerializationError, load_converted
+
+            try:
+                self._snn = load_converted(self.path / SNN_FILE)
+            except SerializationError as exc:
+                raise ArtifactError(
+                    f"artifact at {self.path}: {exc}") from None
+        return self._snn
+
+    def open(self, **overrides):
+        """An :class:`~repro.serve.session.InferenceSession` over this bundle."""
+        from .session import InferenceSession
+
+        return InferenceSession(self, **overrides)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able one-row description (registry/server listings)."""
+        return {
+            "name": self.name,
+            "scheme": self.scheme,
+            "backend": self.backend,
+            "max_batch": self.max_batch,
+            "quantization": self.quantization,
+            "input_shape": list(self.input_shape or ()) or None,
+            "schema_version": self.manifest["schema_version"],
+            "repro_version": self.manifest.get("repro_version"),
+        }
+
+    # -- writing -------------------------------------------------------
+    @classmethod
+    def save(cls, path: PathLike, snn, *, name: str, scheme: str,
+             backend: str = "dense", max_batch: int = 32,
+             quantization: Optional[Dict[str, Any]] = None,
+             input_shape: Optional[Sequence[int]] = None,
+             config: Optional[Dict[str, Any]] = None,
+             metrics: Optional[Dict[str, Any]] = None,
+             model=None, overwrite: bool = False) -> "ModelArtifact":
+        """Write a bundle directory from in-memory build products.
+
+        ``snn`` is the converted network; ``model`` (optional) the
+        trained ANN whose state dict rides along in ``model.npz``.
+        Refuses a directory that already holds a manifest unless
+        ``overwrite`` is set, so a registry slot is never silently
+        clobbered.
+        """
+        from .. import __version__
+        from ..engine.registry import resolve_scheme_name
+        from ..nn.serialization import save_converted, save_model
+
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if manifest_path.exists() and not overwrite:
+            raise ArtifactError(
+                f"{path} already holds an artifact (found {MANIFEST_NAME}); "
+                "pass overwrite=True to replace it")
+        scheme = resolve_scheme_name(scheme)
+        path.mkdir(parents=True, exist_ok=True)
+        save_converted(snn, path / SNN_FILE)
+        files = {SNN_FILE: file_digest(path / SNN_FILE)}
+        if model is not None:
+            save_model(model, path / MODEL_FILE, artifact=name)
+            files[MODEL_FILE] = file_digest(path / MODEL_FILE)
+        manifest = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "name": name,
+            "scheme": scheme,
+            "backend": backend,
+            "max_batch": int(max_batch),
+            "quantization": quantization,
+            "input_shape": list(input_shape) if input_shape else None,
+            "config": config,
+            "metrics": metrics or {},
+            "files": files,
+        }
+        # temp + rename: a crashed build never leaves a loadable-looking
+        # bundle whose manifest is half-written
+        tmp = path / f"{MANIFEST_NAME}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, manifest_path)
+        artifact = cls(path, manifest)
+        artifact._snn = snn
+        return artifact
+
+    @classmethod
+    def build(cls, config, path: PathLike, cache=None, context=None,
+              include_model: bool = True, overwrite: bool = False,
+              on_stage_start=None, on_stage_end=None) -> "ModelArtifact":
+        """Run the config's build stages and bundle the result at ``path``.
+
+        The config's stage list is filtered to the build-time subset
+        (:data:`BUILD_STAGES`); run-time stages (simulate/hardware/...)
+        are ignored here — they are what the bundle exists to skip.
+        A stage ``cache`` gives build the same stage-granular resume as
+        ``repro run``.
+        """
+        from ..api.config import config_to_dict
+        from ..api.experiment import Experiment
+
+        build_stages = tuple(s for s in config.stages if s in BUILD_STAGES)
+        if "convert" not in build_stages:
+            raise ArtifactError(
+                "cannot build an artifact from a config without a "
+                f"'convert' stage; config stages: {', '.join(config.stages)}")
+        build_config = dataclasses.replace(config, stages=build_stages)
+        report = Experiment(build_config, cache=cache,
+                            on_stage_start=on_stage_start,
+                            on_stage_end=on_stage_end).run(context=context)
+        ctx = report.context
+        quantization = None
+        if "quantize" in build_stages:
+            quantization = {"bits": config.quantize.bits,
+                            "z_w": config.quantize.z_w}
+        input_shape = None
+        if ctx.dataset is not None:
+            input_shape = tuple(ctx.dataset.image_shape)
+        return cls.save(
+            path, ctx.snn, name=config.name,
+            scheme=config.simulate.scheme, backend=config.simulate.backend,
+            max_batch=config.simulate.max_batch, quantization=quantization,
+            input_shape=input_shape, config=config_to_dict(config),
+            metrics=report.metrics,
+            model=ctx.model if include_model else None, overwrite=overwrite)
+
+    # -- reading -------------------------------------------------------
+    @classmethod
+    def peek(cls, path: PathLike) -> "ModelArtifact":
+        """Read and schema-check the manifest only — no file digests.
+
+        Cheap enough for registry listings and manifest-default lookups
+        over large bundles; anything that will actually *simulate* the
+        bundle must go through :meth:`load`, which also verifies every
+        file's content digest.
+        """
+        return cls(*cls._read_manifest(path))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ModelArtifact":
+        """Open a bundle, verifying schema version and file digests."""
+        path, manifest = cls._read_manifest(path)
+        for fname, expected in manifest["files"].items():
+            fpath = path / fname
+            if not fpath.exists():
+                raise ArtifactError(
+                    f"{path}: file {fname!r} is listed in the manifest but "
+                    "missing on disk — incomplete copy of the bundle")
+            actual = file_digest(fpath)
+            if actual != expected:
+                raise ArtifactError(
+                    f"{fpath}: content digest mismatch — manifest says "
+                    f"{expected[:12]}…, file hashes to {actual[:12]}… "
+                    "(corrupted or tampered bundle)")
+        return cls(path, manifest)
+
+    @classmethod
+    def _read_manifest(cls, path: PathLike):
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not path.is_dir():
+            raise ArtifactError(
+                f"{path}: no such artifact bundle (expected a directory "
+                f"holding {MANIFEST_NAME})")
+        if not manifest_path.exists():
+            raise ArtifactError(
+                f"{path}: no {MANIFEST_NAME} — not a ModelArtifact bundle "
+                "(build one with ModelArtifact.build or 'repro build')")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"{manifest_path}: corrupted manifest ({exc})") from None
+        if not isinstance(manifest, dict):
+            raise ArtifactError(
+                f"{manifest_path}: corrupted manifest (expected an object, "
+                f"got {type(manifest).__name__})")
+        found = manifest.get("schema_version")
+        if found != ARTIFACT_SCHEMA_VERSION:
+            raise ArtifactError(
+                f"{path}: artifact schema version mismatch — expected "
+                f"{ARTIFACT_SCHEMA_VERSION}, found "
+                f"{'none (missing field)' if found is None else found}; "
+                "rebuild the bundle with this checkout's 'repro build'")
+        missing = [key for key in ("name", "scheme", "backend", "max_batch",
+                                   "files") if key not in manifest]
+        if missing:
+            raise ArtifactError(
+                f"{manifest_path}: manifest is missing required field(s) "
+                f"{', '.join(missing)} — truncated or hand-edited bundle")
+        return path, manifest

@@ -1,0 +1,115 @@
+"""Concurrent-request micro-batching for the prediction server.
+
+The HTTP server handles each request on its own thread; dispatching each
+one-image request straight to the simulator would forfeit the batched
+engine's throughput.  :class:`MicroBatcher` sits between: request
+threads ``submit`` single images and block on a future, a single
+dispatcher thread drains the shared queue — waiting at most
+``max_wait_s`` to let concurrent requests pile up, never exceeding
+``max_batch`` — and runs one batched ``predict`` per coalesced group,
+then fans the per-image results back out to the waiting futures.
+
+stdlib only: ``queue`` + ``threading`` + ``concurrent.futures.Future``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+#: A submitted item: the image and the future its caller blocks on.
+_Item = Tuple[np.ndarray, Future]
+
+
+class MicroBatcher:
+    """Coalesce concurrently-submitted images into batched predicts.
+
+    ``predict_fn(batch)`` is called with an NCHW array and must return a
+    :class:`~repro.serve.session.Prediction`-like object whose
+    ``predictions[i]`` is item *i*'s class id.  Each submitted future
+    resolves to ``(class_id, batch_prediction)``.
+    """
+
+    def __init__(self, predict_fn: Callable, max_batch: int,
+                 max_wait_s: float = 0.005):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.num_batches = 0
+        self.num_items = 0
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-microbatcher")
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray) -> Future:
+        """Enqueue one image; returns the future of its prediction."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        future: Future = Future()
+        self._queue.put((np.asarray(image), future))
+        return future
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the dispatcher thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)            # wake + stop sentinel
+        self._thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> List[_Item]:
+        """Block for the first item, then coalesce up to ``max_batch``."""
+        first = self._queue.get()
+        if first is None:
+            return []
+        pending = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(pending) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:             # close() mid-coalesce: serve
+                self._queue.put(None)    # what we have, re-arm the stop
+                break
+            pending.append(item)
+        return pending
+
+    def _loop(self) -> None:
+        while True:
+            pending = self._collect()
+            if not pending:
+                return
+            batch = np.stack([image for image, _ in pending])
+            try:
+                result = self.predict_fn(batch)
+            except Exception as exc:     # noqa: BLE001 — fan the error out
+                for _, future in pending:
+                    future.set_exception(exc)
+                continue
+            self.num_batches += 1
+            self.num_items += len(pending)
+            for i, (_, future) in enumerate(pending):
+                future.set_result((int(result.predictions[i]), result))

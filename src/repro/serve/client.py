@@ -1,0 +1,59 @@
+"""Thin stdlib client for the prediction server (``repro predict``)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict
+
+import numpy as np
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error (message carries its text)."""
+
+
+def _request(url: str, data: bytes = None, timeout: float = 60.0) -> Dict:
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except (json.JSONDecodeError, ValueError):
+            message = str(exc)
+        raise ServerError(f"{url}: {message}") from None
+    except urllib.error.URLError as exc:
+        raise ServerError(
+            f"cannot reach prediction server at {url}: {exc.reason}"
+        ) from None
+
+
+def server_health(url: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """``GET /healthz`` of the server at ``url``."""
+    return _request(url.rstrip("/") + "/healthz", timeout=timeout)
+
+
+def server_models(url: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """``GET /models`` — the registry listing behind the server."""
+    return _request(url.rstrip("/") + "/models", timeout=timeout)
+
+
+def predict_remote(url: str, model: str, inputs,
+                   timeout: float = 600.0) -> Dict[str, Any]:
+    """``POST /predict`` a CHW image or NCHW batch against ``model``.
+
+    Returns the decoded response (``predictions`` + ``metrics``);
+    raises :class:`ServerError` with the server's own message on any
+    4xx/5xx or connection failure.
+    """
+    body = json.dumps({
+        "model": model,
+        "inputs": np.asarray(inputs).tolist(),
+    }).encode()
+    return _request(url.rstrip("/") + "/predict", data=body,
+                    timeout=timeout)

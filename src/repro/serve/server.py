@@ -1,0 +1,263 @@
+"""stdlib-only batching prediction server (``repro serve``).
+
+A :class:`PredictionServer` fronts a :class:`~repro.serve.ModelRegistry`
+with a threaded HTTP server.  Per model it keeps one long-lived
+:class:`~repro.serve.session.InferenceSession` (opened lazily on first
+request, reused forever) behind a :class:`~repro.serve.batching.
+MicroBatcher`, so concurrent requests coalesce into batched simulator
+dispatches.
+
+Protocol (JSON request/response):
+
+``GET /healthz``
+    ``{"status": "ok", "models": [...names...], "sessions": {...stats}}``
+``GET /models``
+    registry listing: name, versions, aliases, scheme, backend, ...
+``POST /predict``
+    body ``{"model": "name[:version|alias]", "inputs": [CHW, ...]}`` →
+    ``{"model": ..., "predictions": [int, ...], "metrics": {...}}``
+    with per-request latency and spike/SOP counts.  Unknown models are
+    404s whose message carries the registry's closest-match suggestion.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .artifact import ArtifactError
+from .batching import MicroBatcher
+from .registry import ModelRegistry
+from .session import InferenceSession
+
+PROTOCOL_VERSION = 1
+
+
+class PredictionServer:
+    """Serve every model in a registry over HTTP, micro-batched."""
+
+    def __init__(self, registry: Union[ModelRegistry, str],
+                 host: str = "127.0.0.1", port: int = 0,
+                 scheme: Optional[str] = None,
+                 backend: Optional[str] = None,
+                 max_batch: Optional[int] = None,
+                 batch_wait_s: float = 0.005,
+                 warmup: bool = True):
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry, create=False)
+        # validate overrides now (with suggestions), not on first request
+        if scheme is not None:
+            from ..engine.registry import resolve_scheme_name
+
+            scheme = resolve_scheme_name(scheme)
+        if backend is not None:
+            from ..engine.executor import validate_backend
+
+            backend = validate_backend(backend)
+        self.registry = registry
+        self.host = host
+        self.port = port                  # 0 = ephemeral; set by start()
+        self.scheme = scheme              # per-server session overrides
+        self.backend = backend
+        self.max_batch = max_batch
+        self.batch_wait_s = batch_wait_s
+        self.warmup = warmup
+        self.num_requests = 0
+        self._sessions: Dict[str, Tuple[InferenceSession, MicroBatcher]] = {}
+        self._lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "PredictionServer":
+        """Bind and serve on a daemon thread; returns self (port bound)."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True, name="repro-serve")
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI (Ctrl-C to stop)."""
+        if self._httpd is None:
+            self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        with self._lock:
+            sessions, self._sessions = self._sessions, {}
+        for _, batcher in sessions.values():
+            batcher.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- sessions ------------------------------------------------------
+    def session_for(self, spec: str) -> Tuple[InferenceSession, MicroBatcher]:
+        """The (session, batcher) pair behind a model spec, created once.
+
+        Resolution happens on every call (so a new ``latest`` is picked
+        up for *new* keys), but the session is keyed by the resolved
+        bundle path: two specs naming the same version share one warm
+        session.
+        """
+        path = str(self.registry.resolve(spec))
+        with self._lock:
+            pair = self._sessions.get(path)
+        if pair is not None:
+            return pair
+        # the cold open (deserialisation + warmup) happens outside the
+        # lock so requests for already-warm models never stall behind it
+        session = InferenceSession(
+            path, scheme=self.scheme, backend=self.backend,
+            max_batch=self.max_batch, warmup=self.warmup)
+        batcher = MicroBatcher(session.predict, session.max_batch,
+                               max_wait_s=self.batch_wait_s)
+        with self._lock:
+            existing = self._sessions.get(path)
+            if existing is not None:      # another request won the race
+                pair = existing
+            else:
+                pair = self._sessions[path] = (session, batcher)
+        if pair[1] is not batcher:
+            batcher.close()
+        return pair
+
+    # -- request handling (transport-free, unit-testable) --------------
+    def handle_health(self) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            stats = {path: session.stats()
+                     for path, (session, _) in self._sessions.items()}
+        return 200, {"status": "ok", "protocol_version": PROTOCOL_VERSION,
+                     "models": self.registry.names(),
+                     "num_requests": self.num_requests,
+                     "sessions": stats}
+
+    def handle_models(self) -> Tuple[int, Dict[str, Any]]:
+        try:
+            return 200, {"models": self.registry.entries()}
+        except ArtifactError as exc:
+            return 500, {"error": str(exc)}
+
+    def handle_predict(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        spec = payload.get("model")
+        if not isinstance(spec, str) or not spec:
+            return 400, {"error": "missing required field 'model' "
+                                  "(e.g. \"vgg-t2fsnn:latest\")"}
+        if "inputs" not in payload:
+            return 400, {"error": "missing required field 'inputs' "
+                                  "(a CHW image or an NCHW batch)"}
+        try:
+            inputs = np.asarray(payload["inputs"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": f"inputs are not a numeric array: {exc}"}
+        if inputs.ndim == 3:
+            inputs = inputs[None]
+        if inputs.ndim != 4 or len(inputs) == 0:
+            return 400, {"error": "inputs must be one CHW image or a "
+                                  f"non-empty NCHW batch, got shape "
+                                  f"{inputs.shape}"}
+        try:
+            session, batcher = self.session_for(spec)
+        except ArtifactError as exc:
+            return 404, {"error": str(exc)}
+        except (KeyError, ValueError) as exc:
+            # e.g. a bad per-session override; KeyError str() re-quotes
+            message = exc.args[0] if isinstance(exc, KeyError) else exc
+            return 400, {"error": f"cannot open a session for "
+                                  f"{spec!r}: {message}"}
+        t0 = time.perf_counter()
+        futures = [batcher.submit(image) for image in inputs]
+        try:
+            outcomes = [future.result(timeout=600) for future in futures]
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            return 500, {"error": f"prediction failed: {exc}"}
+        latency = time.perf_counter() - t0
+        self.num_requests += 1
+        predictions = [class_id for class_id, _ in outcomes]
+        # one entry per distinct dispatched micro-batch this request
+        # rode in (identity-keyed: each dispatch builds one Prediction)
+        batches = list({id(batch): batch
+                        for _, batch in outcomes}.values())
+        spikes = [b.total_spikes for b in batches]
+        sops = [b.total_sops for b in batches]
+        metrics = {
+            "latency_s": latency,
+            "num_inputs": len(inputs),
+            "num_batches": len(batches),
+            "batch_sizes": [b.batch_size for b in batches],
+            "scheme": session.scheme_name,
+            "backend": session.backend,
+            "total_spikes": (None if any(s is None for s in spikes)
+                             else int(sum(spikes))),
+            "total_sops": (None if any(s is None for s in sops)
+                           else int(sum(sops))),
+        }
+        return 200, {"model": spec, "predictions": predictions,
+                     "metrics": metrics}
+
+
+def _make_handler(server: PredictionServer):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):
+            pass                 # a line per request is noise in tests
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 — http.server API
+            if self.path == "/healthz":
+                self._reply(*server.handle_health())
+            elif self.path == "/models":
+                self._reply(*server.handle_models())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                           "endpoints: GET /healthz, "
+                                           "GET /models, POST /predict"})
+
+        def do_POST(self):  # noqa: N802 — http.server API
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                           "POST /predict is the only "
+                                           "mutation endpoint"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": f"request body is not valid "
+                                           f"JSON: {exc}"})
+                return
+            self._reply(*server.handle_predict(payload))
+
+    return Handler

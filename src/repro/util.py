@@ -10,7 +10,7 @@ one-glance fix instead of a documentation hunt.
 from __future__ import annotations
 
 import difflib
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 
 def closest_match(name: str, candidates: Iterable[str]) -> str | None:
@@ -26,8 +26,20 @@ def did_you_mean(name: str, candidates: Iterable[str]) -> str:
     return f" did you mean {match!r}?" if match else ""
 
 
-def unknown_name_message(kind: str, name: str,
-                         candidates: Sequence[str]) -> str:
-    """One-line error text for a name that is not in ``candidates``."""
-    return (f"unknown {kind} {name!r};{did_you_mean(name, candidates)}"
-            f" available: {', '.join(sorted(candidates))}")
+def unknown_name_message(kind: str, name: str, candidates: Sequence[str],
+                         aliases: Optional[Mapping[str, str]] = None) -> str:
+    """One-line error text for a name that is not in ``candidates``.
+
+    ``aliases`` (alias -> canonical name) widens both the closest-match
+    pool and the "available" listing, so a registry that resolves
+    shorthand names ("latest", "ttfs") suggests those too instead of
+    only the canonical spellings.
+    """
+    alias_map = dict(aliases or {})
+    pool = list(candidates) + [a for a in alias_map if a not in candidates]
+    listing = ", ".join(sorted(candidates))
+    if alias_map:
+        listing += "; aliases: " + ", ".join(
+            f"{alias} -> {alias_map[alias]}" for alias in sorted(alias_map))
+    return (f"unknown {kind} {name!r};{did_you_mean(name, pool)}"
+            f" available: {listing}")

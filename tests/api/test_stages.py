@@ -167,3 +167,58 @@ class TestQuantizeConfigPlumbs:
         get_stage("quantize", config).run(ctx)
         assert ctx.metrics["quantize"]["bits"] == 3
         assert ctx.metrics["quantize"]["z_w"] == 0
+
+
+class TestArtifactStages:
+    def _config(self, tmp_path, **overrides):
+        from repro.api.config import ArtifactConfig
+
+        return micro_config(
+            stages=("train", "convert", "quantize", "export"),
+            artifact=ArtifactConfig(path=str(tmp_path / "bundle")),
+            **overrides)
+
+    def test_export_requires_path(self, tiny_dataset):
+        config = micro_config(stages=("train", "convert", "export"))
+        ctx = PipelineContext(config=config, dataset=tiny_dataset)
+        get_stage("train", config).run(ctx)
+        get_stage("convert", config).run(ctx)
+        with pytest.raises(PipelineError, match="artifact.path"):
+            get_stage("export", config).run(ctx)
+
+    def test_export_then_restore_round_trips_the_snn(self, tmp_path,
+                                                     tiny_dataset):
+        config = self._config(tmp_path)
+        ctx = PipelineContext(config=config, dataset=tiny_dataset)
+        for name in config.stages:
+            get_stage(name, config).run(ctx)
+        assert ctx.metrics["export"]["path"] == str(tmp_path / "bundle")
+        assert ctx.metrics["export"]["files"] == ["model.npz", "snn.npz"]
+
+        restore_config = micro_config(
+            stages=("restore", "simulate"),
+            artifact=ctx.config.artifact)
+        ctx2 = PipelineContext(config=restore_config, dataset=tiny_dataset)
+        get_stage("restore", restore_config).run(ctx2)
+        assert ctx2.metrics["restore"]["quantization"] == \
+            {"bits": 5, "z_w": 1}
+        x = tiny_dataset.test_x[:6]
+        np.testing.assert_allclose(ctx2.snn.forward_value(x),
+                                   ctx.snn.forward_value(x))
+
+    def test_restore_missing_bundle_is_pipeline_error(self, tmp_path,
+                                                      tiny_dataset):
+        from repro.api.config import ArtifactConfig
+
+        config = micro_config(
+            stages=("restore",),
+            artifact=ArtifactConfig(path=str(tmp_path / "missing")))
+        ctx = PipelineContext(config=config, dataset=tiny_dataset)
+        with pytest.raises(PipelineError, match="no such artifact bundle"):
+            get_stage("restore", config).run(ctx)
+
+    def test_restore_requires_path(self, tiny_dataset):
+        config = micro_config(stages=("restore",))
+        ctx = PipelineContext(config=config, dataset=tiny_dataset)
+        with pytest.raises(PipelineError, match="artifact.path"):
+            get_stage("restore", config).run(ctx)

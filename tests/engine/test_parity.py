@@ -238,3 +238,28 @@ class TestFireSweepVectorisation:
             fire = (membrane >= thr - FIRE_TOL) & (want == NO_SPIKE)
             want[fire] = t
         assert np.array_equal(got, want)
+
+
+class TestSchemeAliases:
+    def test_aliases_resolve_to_canonical_schemes(self):
+        from repro.engine import get_scheme, resolve_scheme_name
+
+        assert resolve_scheme_name("ttfs") == "ttfs-closed-form"
+        assert resolve_scheme_name("fp") == "fixed-point"
+        assert get_scheme("ttfs") is get_scheme("ttfs-closed-form")
+
+    def test_registered_scheme_wins_over_alias(self, monkeypatch):
+        """A factory genuinely named like an alias is never shadowed."""
+        from repro.engine import registry as reg
+
+        marker = object()
+        monkeypatch.setitem(reg._FACTORIES, "ttfs",
+                            lambda snn, **kw: marker)
+        assert reg.get_scheme("ttfs")(None) is marker
+        assert reg.resolve_scheme_name("ttfs") == "ttfs"
+
+    def test_register_alias_requires_known_target(self):
+        from repro.engine import register_scheme_alias
+
+        with pytest.raises(KeyError, match="unknown coding scheme"):
+            register_scheme_alias("x", "no-such-scheme")

@@ -80,3 +80,104 @@ class TestConvertedRoundtrip:
         restored = load_converted(path)
         res = EventDrivenTTFSNetwork(restored).run(tiny_dataset.test_x[:4])
         assert res.total_spikes > 0
+
+
+class TestConvertedFormatVersioning:
+    """Stale/truncated/corrupted files fail with actionable errors."""
+
+    @staticmethod
+    def _save(converted_micro, tmp_path):
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)
+        return path
+
+    @staticmethod
+    def _rewrite_header(path, mutate):
+        import json
+
+        data = dict(np.load(path, allow_pickle=False))
+        header = json.loads(bytes(data["__header__"]).decode())
+        mutate(header)
+        data["__header__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **data)
+
+    def test_header_records_version_and_digest(self, tmp_path,
+                                               converted_micro):
+        import json
+
+        from repro.nn.serialization import CONVERTED_FORMAT_VERSION
+
+        path = self._save(converted_micro, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(bytes(data["__header__"]).decode())
+        assert header["format_version"] == CONVERTED_FORMAT_VERSION
+        assert len(header["digest"]) == 64
+
+    def test_wrong_version_is_actionable(self, tmp_path, converted_micro):
+        from repro.nn.serialization import SerializationError
+
+        path = self._save(converted_micro, tmp_path)
+        self._rewrite_header(path,
+                            lambda h: h.update(format_version=99))
+        with pytest.raises(SerializationError,
+                           match=r"snn\.npz.*expected 1, found 99"):
+            load_converted(path)
+
+    def test_pre_versioning_file_is_actionable(self, tmp_path,
+                                               converted_micro):
+        from repro.nn.serialization import SerializationError
+
+        path = self._save(converted_micro, tmp_path)
+        self._rewrite_header(path, lambda h: h.pop("format_version"))
+        with pytest.raises(SerializationError,
+                           match="found none \\(pre-versioning file\\)"):
+            load_converted(path)
+
+    def test_truncated_header_is_actionable_not_keyerror(self, tmp_path,
+                                                         converted_micro):
+        from repro.nn.serialization import SerializationError
+
+        path = self._save(converted_micro, tmp_path)
+        self._rewrite_header(path, lambda h: h.pop("digest"))
+        with pytest.raises(SerializationError,
+                           match="missing entry 'digest'"):
+            load_converted(path)
+
+    def test_missing_weight_array_is_actionable(self, tmp_path,
+                                                converted_micro):
+        from repro.nn.serialization import SerializationError
+
+        path = self._save(converted_micro, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        del data["w/0"]
+        np.savez_compressed(path, **data)
+        with pytest.raises(SerializationError, match="missing entry"):
+            load_converted(path)
+
+    def test_tampered_weights_fail_the_digest_check(self, tmp_path,
+                                                    converted_micro):
+        from repro.nn.serialization import SerializationError
+
+        path = self._save(converted_micro, tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["w/0"] = data["w/0"] + 1.0
+        np.savez_compressed(path, **data)
+        with pytest.raises(SerializationError, match="digest mismatch"):
+            load_converted(path)
+
+    def test_not_an_npz_file_is_actionable(self, tmp_path):
+        from repro.nn.serialization import SerializationError
+
+        path = tmp_path / "snn.npz"
+        path.write_text("definitely not a zip archive")
+        with pytest.raises(SerializationError, match="not a readable"):
+            load_converted(path)
+
+    def test_npz_without_header_is_actionable(self, tmp_path):
+        from repro.nn.serialization import SerializationError
+
+        path = tmp_path / "snn.npz"
+        np.savez_compressed(path, other=np.zeros(3))
+        with pytest.raises(SerializationError, match="no __header__"):
+            load_converted(path)

@@ -1,0 +1,30 @@
+"""Shared serve fixtures: a session-scoped bundle + registry.
+
+The bundle wraps the session-trained ``converted_micro`` network, so
+no serve test pays for its own training run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ModelArtifact, ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def micro_bundle(tmp_path_factory, converted_micro, trained_micro):
+    """A saved (not rebuilt) artifact around the shared micro SNN."""
+    path = tmp_path_factory.mktemp("artifact") / "bundle"
+    return ModelArtifact.save(
+        path, converted_micro, name="micro", scheme="ttfs-closed-form",
+        backend="dense", max_batch=8, input_shape=(3, 8, 8),
+        quantization=None, metrics={"source": {"fixture": True}},
+        model=trained_micro.model)
+
+
+@pytest.fixture(scope="session")
+def micro_registry(tmp_path_factory, micro_bundle):
+    """A registry holding the micro bundle as ``micro:v1`` (= latest)."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    registry.publish(micro_bundle, name="micro", version="v1")
+    return registry

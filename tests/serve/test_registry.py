@@ -1,0 +1,85 @@
+"""ModelRegistry: publish/resolve/version/alias semantics."""
+
+import pytest
+
+from repro.serve import ArtifactError, ModelArtifact, ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path, micro_bundle):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.publish(micro_bundle, name="micro", version="v1")
+    return reg
+
+
+class TestPublish:
+    def test_publish_and_load(self, registry, micro_bundle, tiny_dataset):
+        artifact = registry.load("micro:v1")
+        assert artifact.name == "micro"
+        session = registry.open("micro", warmup=False)
+        assert len(session.predict(tiny_dataset.test_x[:2]).predictions) == 2
+
+    def test_auto_version_and_latest_alias(self, registry, micro_bundle):
+        name, version, _ = registry.publish(micro_bundle, name="micro")
+        assert (name, version) == ("micro", "v2")
+        assert registry.aliases("micro")["latest"] == "v2"
+        assert registry.resolve("micro") == registry.resolve("micro:v2")
+
+    def test_versions_are_immutable(self, registry, micro_bundle):
+        with pytest.raises(ArtifactError, match="versions are immutable"):
+            registry.publish(micro_bundle, name="micro", version="v1")
+
+    def test_natural_version_sort(self, registry, micro_bundle):
+        for version in ("v2", "v10"):
+            registry.publish(micro_bundle, name="micro", version=version,
+                             alias=None)
+        assert registry.versions("micro") == ["v1", "v2", "v10"]
+        # implicit latest (no alias written for v2/v10) = newest version
+        registry_no_alias = ModelRegistry(registry.root)
+        aliases = registry_no_alias.aliases("micro")
+        assert aliases == {"latest": "v1"}    # only the publish() default
+        assert registry.resolve("micro:v10").name == "v10"
+
+    def test_invalid_names_rejected(self, registry, micro_bundle):
+        for bad in ("a/b", "a:b", ".hidden"):
+            with pytest.raises(ArtifactError, match="invalid model name"):
+                registry.publish(micro_bundle, name=bad)
+
+
+class TestResolve:
+    def test_unknown_model_suggests_names_and_aliases(self, registry):
+        with pytest.raises(ArtifactError, match="did you mean 'micro'"):
+            registry.resolve("micr")
+        with pytest.raises(ArtifactError,
+                           match="aliases: micro:latest -> micro:v1"):
+            registry.resolve("nothere")
+
+    def test_unknown_version_suggests_aliases(self, registry):
+        with pytest.raises(ArtifactError, match="did you mean 'latest'"):
+            registry.resolve("micro:latst")
+        with pytest.raises(ArtifactError,
+                           match="aliases: latest -> v1"):
+            registry.resolve("micro:v9")
+
+    def test_set_alias_and_dangling_alias(self, registry, tmp_path):
+        registry.set_alias("micro", "prod", "v1")
+        assert registry.resolve("micro:prod").name == "v1"
+        with pytest.raises(ArtifactError, match="available: v1"):
+            registry.set_alias("micro", "prod", "v99")
+        # hand-break the alias table: resolution reports the dangle
+        import json
+        (registry.root / "micro" / "aliases.json").write_text(
+            json.dumps({"prod": "v99"}))
+        with pytest.raises(ArtifactError, match="points at version"):
+            registry.resolve("micro:prod")
+
+    def test_missing_registry_dir(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no such registry"):
+            ModelRegistry(tmp_path / "nope", create=False)
+
+    def test_entries_listing(self, registry):
+        (entry,) = registry.entries()
+        assert entry["name"] == "micro"
+        assert entry["versions"] == ["v1"]
+        assert entry["aliases"] == {"latest": "v1"}
+        assert entry["scheme"] == "ttfs-closed-form"

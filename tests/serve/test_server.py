@@ -1,0 +1,157 @@
+"""MicroBatcher + PredictionServer: coalescing, protocol, parity."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceSession,
+    MicroBatcher,
+    PredictionServer,
+    ServerError,
+    predict_remote,
+    server_health,
+    server_models,
+)
+
+
+class _FakeResult:
+    def __init__(self, batch):
+        self.predictions = np.arange(len(batch)) + int(batch[0].flat[0])
+        self.batch_size = len(batch)
+
+
+class TestMicroBatcher:
+    def test_concurrent_submits_coalesce(self):
+        batch_sizes = []
+
+        def slow_predict(batch):
+            batch_sizes.append(len(batch))
+            time.sleep(0.01)
+            return _FakeResult(batch)
+
+        with MicroBatcher(slow_predict, max_batch=8,
+                          max_wait_s=0.1) as batcher:
+            with ThreadPoolExecutor(6) as pool:
+                futures = list(pool.map(
+                    lambda i: batcher.submit(np.full((1, 2), i)),
+                    range(6)))
+                outcomes = [f.result(timeout=10) for f in futures]
+        assert batcher.num_items == 6
+        assert batcher.num_batches == len(batch_sizes)
+        assert sum(batch_sizes) == 6
+        assert max(batch_sizes) > 1          # some coalescing happened
+        for i, (class_id, batch_result) in enumerate(outcomes):
+            assert isinstance(class_id, int)
+            assert batch_result.batch_size >= 1
+
+    def test_never_exceeds_max_batch(self):
+        batch_sizes = []
+
+        def predict(batch):
+            batch_sizes.append(len(batch))
+            return _FakeResult(batch)
+
+        with MicroBatcher(predict, max_batch=2, max_wait_s=0.5) as batcher:
+            futures = [batcher.submit(np.zeros((1, 1))) for _ in range(7)]
+            for f in futures:
+                f.result(timeout=10)
+        assert max(batch_sizes) <= 2
+
+    def test_predict_error_fans_out(self):
+        def broken(batch):
+            raise RuntimeError("boom")
+
+        with MicroBatcher(broken, max_batch=4) as batcher:
+            future = batcher.submit(np.zeros((1, 1)))
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10)
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda b: _FakeResult(b), max_batch=2)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(np.zeros((1, 1)))
+
+
+@pytest.fixture(scope="module")
+def server(micro_registry):
+    with PredictionServer(micro_registry, port=0,
+                          batch_wait_s=0.01) as srv:
+        yield srv
+
+
+class TestPredictionServer:
+    def test_healthz_and_models(self, server):
+        health = server_health(server.url)
+        assert health["status"] == "ok"
+        assert health["models"] == ["micro"]
+        listing = server_models(server.url)["models"]
+        assert listing[0]["name"] == "micro"
+        assert listing[0]["aliases"] == {"latest": "v1"}
+
+    def test_predictions_match_local_session(self, server, micro_bundle,
+                                             tiny_dataset):
+        x = tiny_dataset.test_x[:10]
+        expected = InferenceSession(micro_bundle,
+                                    warmup=False).predict(x).predictions
+        response = predict_remote(server.url, "micro:latest", x)
+        assert response["predictions"] == [int(p) for p in expected]
+        metrics = response["metrics"]
+        assert metrics["num_inputs"] == 10
+        assert metrics["total_spikes"] > 0
+        assert metrics["scheme"] == "ttfs-closed-form"
+
+    def test_concurrent_requests_batched_and_correct(self, server,
+                                                     micro_bundle,
+                                                     tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        expected = InferenceSession(micro_bundle,
+                                    warmup=False).predict(x).predictions
+        with ThreadPoolExecutor(8) as pool:
+            responses = list(pool.map(
+                lambda i: predict_remote(server.url, "micro", x[i:i + 1]),
+                range(8)))
+        assert [r["predictions"][0] for r in responses] == \
+            [int(p) for p in expected]
+        # one warm session serves every spec of the same version
+        stats = server_health(server.url)["sessions"]
+        assert len(stats) == 1
+
+    def test_unknown_model_is_404_with_suggestion(self, server,
+                                                  tiny_dataset):
+        with pytest.raises(ServerError, match="did you mean 'micro'"):
+            predict_remote(server.url, "micr", tiny_dataset.test_x[:1])
+
+    def test_bad_requests_are_400s(self, server):
+        status, body = server.handle_predict({"inputs": [[0.0]]})
+        assert status == 400 and "model" in body["error"]
+        status, body = server.handle_predict({"model": "micro"})
+        assert status == 400 and "inputs" in body["error"]
+        status, body = server.handle_predict(
+            {"model": "micro", "inputs": [[0.0, "x"]]})
+        assert status == 400 and "numeric" in body["error"]
+        status, body = server.handle_predict(
+            {"model": "micro", "inputs": [0.0, 1.0]})
+        assert status == 400 and "NCHW" in body["error"]
+        status, body = server.handle_predict([1, 2, 3])
+        assert status == 400 and "JSON object" in body["error"]
+
+    def test_unreachable_server_message(self):
+        with pytest.raises(ServerError, match="cannot reach"):
+            server_health("http://127.0.0.1:1", timeout=1)
+
+
+class TestServerOverrideValidation:
+    def test_bad_overrides_fail_at_startup_with_suggestions(
+            self, micro_registry):
+        with pytest.raises(ValueError, match="did you mean 'event'"):
+            PredictionServer(micro_registry, backend="evnt")
+        with pytest.raises(KeyError, match="did you mean"):
+            PredictionServer(micro_registry, scheme="ttfs-close-form")
+        # a valid alias canonicalises
+        server = PredictionServer(micro_registry, scheme="ttfs")
+        assert server.scheme == "ttfs-closed-form"

@@ -253,3 +253,137 @@ class TestEvaluateCommand:
         assert point["scheme"] == "ttfs-closed-form"
         assert point["window"] == 6
         assert 0.0 <= point["accuracy"] <= 1.0
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        from repro import __version__
+
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestBuildCommand:
+    def test_requires_exactly_one_destination(self, capsys, tmp_path):
+        assert main(["build", "--preset", "micro-smoke"]) == 2
+        assert "exactly one of --out" in capsys.readouterr().err
+        assert main(["build", "--preset", "micro-smoke",
+                     "--out", str(tmp_path / "b"),
+                     "--registry", str(tmp_path / "r")]) == 2
+        assert "exactly one of --out" in capsys.readouterr().err
+
+    def test_requires_exactly_one_config_source(self, capsys, tmp_path):
+        assert main(["build", "--out", str(tmp_path / "b")]) == 2
+        assert "exactly one of a config file" in capsys.readouterr().err
+
+    def test_existing_bundle_needs_force(self, capsys, tmp_path):
+        out = str(tmp_path / "bundle")
+        assert main(["build", "--preset", "micro-smoke", "--out", out]) == 0
+        assert main(["build", "--preset", "micro-smoke", "--out", out]) == 2
+        assert "already holds an artifact" in capsys.readouterr().err
+        assert main(["build", "--preset", "micro-smoke", "--out", out,
+                     "--force"]) == 0
+
+
+class TestServeRoundTrip:
+    """Acceptance: serve + predict == simulate, via the real CLI."""
+
+    @pytest.fixture(scope="class")
+    def registry_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-registry")
+        code = main(["build", "--preset", "micro-smoke",
+                     "--registry", str(root), "--name", "micro"])
+        assert code == 0
+        return root
+
+    def test_build_published_with_latest_alias(self, registry_dir, capsys):
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(registry_dir, create=False)
+        assert registry.names() == ["micro"]
+        assert registry.aliases("micro") == {"latest": "v1"}
+
+    def test_predict_matches_simulate_artifact(self, registry_dir,
+                                               tmp_path, capsys):
+        import json
+
+        from repro.serve import PredictionServer
+
+        with PredictionServer(str(registry_dir), port=0) as server:
+            pred_file = tmp_path / "pred.json"
+            assert main(["predict", "--url", server.url,
+                         "--model", "micro:latest", "--limit", "12",
+                         "--output", str(pred_file)]) == 0
+        out = capsys.readouterr().out
+        assert "predictions:" in out and "accuracy" in out
+
+        sim_file = tmp_path / "sim.json"
+        bundle = registry_dir / "micro" / "v1"
+        assert main(["simulate", "--artifact", str(bundle),
+                     "--limit", "12",
+                     "--predictions", str(sim_file)]) == 0
+        out = capsys.readouterr().out
+        assert "restoring artifact bundle" in out
+        assert "training" not in out          # run-time path: no training
+
+        served = json.loads(pred_file.read_text())
+        simulated = json.loads(sim_file.read_text())
+        assert served["predictions"] == simulated["predictions"]
+        assert served["accuracy"] == pytest.approx(simulated["accuracy"])
+
+    def test_predict_unknown_model_is_an_error_with_suggestion(
+            self, registry_dir, capsys):
+        from repro.serve import PredictionServer
+
+        with PredictionServer(str(registry_dir), port=0) as server:
+            assert main(["predict", "--url", server.url,
+                         "--model", "micr", "--limit", "1"]) == 2
+        assert "did you mean 'micro'" in capsys.readouterr().err
+
+    def test_predict_unreachable_server_is_an_error(self, capsys):
+        assert main(["predict", "--url", "http://127.0.0.1:1",
+                     "--model", "micro", "--limit", "1"]) == 2
+        assert "cannot reach prediction server" in capsys.readouterr().err
+
+    def test_evaluate_artifact_skips_training(self, registry_dir, capsys):
+        bundle = registry_dir / "micro" / "v1"
+        assert main(["evaluate", "--artifact", str(bundle),
+                     "--schemes", "ttfs-closed-form", "--windows", "6",
+                     "--max-batches", "8", "--limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluating artifact bundle" in out
+        assert "training" not in out
+
+    def test_simulate_bad_artifact_is_a_usage_error(self, capsys,
+                                                    tmp_path):
+        assert main(["simulate", "--artifact",
+                     str(tmp_path / "nope")]) == 2
+        assert "no such artifact bundle" in capsys.readouterr().err
+
+    def test_serve_empty_registry_is_a_usage_error(self, capsys,
+                                                   tmp_path):
+        empty = tmp_path / "empty-reg"
+        empty.mkdir()
+        assert main(["serve", "--registry", str(empty)]) == 2
+        assert "holds no models" in capsys.readouterr().err
+        assert main(["serve", "--registry",
+                     str(tmp_path / "missing")]) == 2
+        assert "no such registry" in capsys.readouterr().err
+
+
+class TestSimulateArtifactDefaults:
+    def test_max_batch_defaults_to_the_manifest(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "bundle")
+        assert main(["build", "--preset", "micro-smoke",
+                     "--out", out_dir]) == 0
+        capsys.readouterr()
+        # micro-smoke records max_batch=8; no --max-batch -> honoured
+        assert main(["simulate", "--artifact", out_dir,
+                     "--limit", "12"]) == 0
+        assert "of <= 8)" in capsys.readouterr().out
+        # an explicit flag still overrides
+        assert main(["simulate", "--artifact", out_dir,
+                     "--limit", "12", "--max-batch", "4"]) == 0
+        assert "of <= 4)" in capsys.readouterr().out
