@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Diff a fresh event-stream bench run against the committed baseline.
+
+The committed ``BENCH_event_stream.json`` at the repo root pins the
+performance story of the compiled-plan event path: its *ratio* metrics
+(``speedup``, ``scatter_speedup``, ``auto_vs_best``) cancel out absolute
+machine speed, so they transfer across hosts far better than raw
+milliseconds.  This script compares those ratios record-by-record
+against a fresh ``benchmarks/results/event_stream.json`` and flags any
+that regressed beyond a relative tolerance.
+
+Usage::
+
+    python benchmarks/compare.py                     # strict: exit 1
+    python benchmarks/compare.py --warn-only         # CI: report only
+    python benchmarks/compare.py --tolerance 0.4
+
+Only regressions count — a fresh run that is *faster* than baseline
+never fails.  ``auto_vs_best`` is the one lower-is-better metric; it
+regresses when it grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_event_stream.json"
+FRESH = REPO_ROOT / "benchmarks" / "results" / "event_stream.json"
+
+#: metric name -> True when higher is better.
+RATIO_METRICS = {
+    "speedup": True,
+    "scatter_speedup": True,
+    "auto_vs_best": False,
+}
+
+
+def load(path: pathlib.Path) -> dict:
+    if not path.exists():
+        sys.exit(f"compare.py: {path} not found — run "
+                 f"benchmarks/bench_event_stream.py first (fresh run) or "
+                 f"commit a baseline (see BENCH_event_stream.json).")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        sys.exit(f"compare.py: {path} is not valid JSON: {exc}")
+    if data.get("schema_version") != 2:
+        sys.exit(f"compare.py: {path} has schema_version "
+                 f"{data.get('schema_version')!r}, expected 2 — "
+                 f"re-run the bench on this checkout.")
+    return data
+
+
+def record_key(record: dict) -> tuple:
+    return (record["scheme"], record["window"], record["input_density"])
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression messages."""
+    fresh_by_key = {record_key(r): r for r in fresh["records"]}
+    problems = []
+    for base in baseline["records"]:
+        key = record_key(base)
+        got = fresh_by_key.get(key)
+        if got is None:
+            problems.append(f"{key}: missing from fresh run")
+            continue
+        for metric, higher_is_better in RATIO_METRICS.items():
+            base_v, got_v = base[metric], got[metric]
+            if higher_is_better:
+                floor = base_v * (1.0 - tolerance)
+                if got_v < floor:
+                    problems.append(
+                        f"{key}: {metric} regressed {base_v:.2f} -> "
+                        f"{got_v:.2f} (floor {floor:.2f} at "
+                        f"tolerance {tolerance:.0%})")
+            else:
+                ceiling = base_v * (1.0 + tolerance)
+                if got_v > ceiling:
+                    problems.append(
+                        f"{key}: {metric} regressed {base_v:.2f} -> "
+                        f"{got_v:.2f} (ceiling {ceiling:.2f} at "
+                        f"tolerance {tolerance:.0%})")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh event-stream bench run against the "
+                    "committed BENCH_event_stream.json baseline.")
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE,
+                        help="committed baseline JSON (default: repo root)")
+    parser.add_argument("--fresh", type=pathlib.Path, default=FRESH,
+                        help="fresh run JSON (default: benchmarks/results)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative slack on each ratio metric "
+                             "(default: 0.25 — bench hosts are noisy)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (CI mode)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    problems = compare(baseline, fresh, args.tolerance)
+
+    n = len(baseline["records"]) * len(RATIO_METRICS)
+    if problems:
+        print(f"compare.py: {len(problems)} regression(s) against "
+              f"{args.baseline.name} (tolerance {args.tolerance:.0%}):")
+        for p in problems:
+            print(f"  - {p}")
+        return 0 if args.warn_only else 1
+    print(f"compare.py: all {n} ratio checks within "
+          f"{args.tolerance:.0%} of {args.baseline.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,12 @@
 """Unified simulation engine: one layer walk under every simulator stack.
 
 ``executor``  — the shared per-layer primitives, the walk itself, and
-the ``dense``/``event`` execution backends (the latter scatters only
-the :class:`~repro.events.EventStream` events that occurred);
+the ``dense``/``event``/``auto`` execution backends (``event`` scatters
+only the :class:`~repro.events.EventStream` events that occurred;
+``auto`` picks dense or event per layer from measured spike density);
+``plan``      — compiled per-layer execution plans (CSR adjacency /
+conv offset tables), the segment-sum scatter kernels, the auto-backend
+cost model, and plan (de)serialisation for artifact bundles;
 ``runner``    — batched/chunked execution with aggregated statistics;
 ``registry``  — pluggable coding schemes (``ttfs-closed-form``,
 ``ttfs-timestep``, ``ttfs-early``, ``rate``, ``fixed-point``, ...);
@@ -29,6 +33,7 @@ from .executor import (
     conv_fanout,
     fire_times_from_membrane,
     integrate_events,
+    integrate_events_reference,
     layer_sops,
     output_shape,
     pool_times,
@@ -39,6 +44,22 @@ from .executor import (
 )
 from .cache import ResultCache, digest, run_key, scheme_digest
 from .parallel import ParallelRunner, SchemeSpec
+from .plan import (
+    DENSE_EVENT_CROSSOVER,
+    PLAN_FORMAT_VERSION,
+    ConvPlan,
+    LinearPlan,
+    PlanError,
+    PlanSet,
+    choose_backend,
+    compile_plans,
+    dense_flops,
+    event_sops,
+    load_plans,
+    occupied_steps,
+    save_plans,
+    scatter_add_rows,
+)
 from .registry import (
     available_schemes,
     create_scheme,
@@ -63,7 +84,22 @@ __all__ = [
     "available_backends",
     "avgpool_events",
     "integrate_events",
+    "integrate_events_reference",
     "validate_backend",
+    "DENSE_EVENT_CROSSOVER",
+    "PLAN_FORMAT_VERSION",
+    "ConvPlan",
+    "LinearPlan",
+    "PlanError",
+    "PlanSet",
+    "choose_backend",
+    "compile_plans",
+    "dense_flops",
+    "event_sops",
+    "load_plans",
+    "occupied_steps",
+    "save_plans",
+    "scatter_add_rows",
     "CodingScheme",
     "ExecutionContext",
     "LayerTrace",

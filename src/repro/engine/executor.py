@@ -34,6 +34,7 @@ import numpy as np
 from ..cat.kernels import NO_SPIKE
 from ..events import EventStream, conv_offset_coverage, scatter_chunks
 from ..tensor import Tensor, avg_pool2d, conv2d as conv2d_op, max_pool2d
+from .plan import scatter_add_rows
 
 #: Membranes exactly on-threshold fire (float guard of the fire phase).
 FIRE_TOL = 1e-9
@@ -42,8 +43,11 @@ FIRE_TOL = 1e-9
 #: walks full ``(T, N, ...)``/dense activation volumes; ``event``
 #: integrates only the spikes that actually occurred, as a scatter over
 #: an :class:`~repro.events.EventStream` (cost O(events), not
-#: O(timesteps x neurons)).
-BACKENDS = ("dense", "event")
+#: O(timesteps x neurons)); ``auto`` measures each layer's incoming
+#: spike count and picks dense or event per layer against the
+#: calibrated crossover of :func:`repro.engine.plan.choose_backend`,
+#: recording the choice in :attr:`LayerTrace.backend`.
+BACKENDS = ("dense", "event", "auto")
 
 
 def available_backends():
@@ -179,34 +183,46 @@ def avgpool_events(spec, stream: EventStream, kernel, theta0: float = 1.0
 # Event-driven integration (the `event` backend's hot path)
 # ----------------------------------------------------------------------
 
-def integrate_events(spec, stream: EventStream,
-                     values: np.ndarray) -> np.ndarray:
+def integrate_events(spec, stream: EventStream, values: np.ndarray,
+                     plan=None) -> np.ndarray:
     """Membrane sums of a weight layer from spike events alone.
 
     The event-driven integrate-and-fire formulation: instead of decoding
     the stream into a dense activation volume and running the full
     affine map, each event ``(sample, neuron j, value v)`` scatters
-    ``v * W[:, j]`` into the membranes it actually reaches — an
-    ``np.add.at`` over the events, so the cost is O(events x fan-out)
-    regardless of how many neurons stayed silent.  ``values`` carries
-    one amplitude per event (the kernel-decoded PSP for TTFS coding, the
-    threshold for rate coding).  Biases are *not* added (callers add
-    :func:`bias_shaped` once per window, mirroring the PPU).
+    ``v * W[:, j]`` into the membranes it actually reaches, so the cost
+    is O(events x fan-out) regardless of how many neurons stayed silent.
+    ``values`` carries one amplitude per event (the kernel-decoded PSP
+    for TTFS coding, the threshold for rate coding).  Biases are *not*
+    added (callers add :func:`bias_shaped` once per window, mirroring
+    the PPU).
+
+    The scatter runs through the segment-sum kernels of
+    :mod:`repro.engine.plan` (bit-identical to the historical
+    ``np.add.at`` formulation, preserved as
+    :func:`integrate_events_reference`).  Pass a compiled ``plan`` (from
+    a :class:`~repro.engine.plan.PlanSet`) to skip the per-batch
+    geometry derivation entirely; without one the geometry is derived in
+    place, exactly as before.  Either way conv layers chunk *within*
+    each kernel tap, so the transient ``(events x c_out)`` block is
+    bounded by ``SCATTER_BLOCK_ELEMENTS`` even at full K*K fan-out.
     """
     values = np.asarray(values, dtype=np.float64)
     if len(values) != stream.num_events:
         raise ValueError(
             f"got {len(values)} values for {stream.num_events} events")
+    if plan is not None:
+        return plan.execute(spec, stream, values)
     out_shape = output_shape(spec, stream.shape)
     if spec.kind == "linear":
         sample, j = stream.unravel()
         membrane = np.zeros(out_shape, dtype=np.float64)
+        wt64 = spec.weight.T.astype(np.float64)
         # chunk the (events x outputs) product block to bound memory
         # (a folded rate stream can carry T x batch worth of events)
         for sl in scatter_chunks(stream.num_events, out_shape[1]):
-            np.add.at(membrane, sample[sl],
-                      values[sl][:, None]
-                      * spec.weight.T[j[sl]].astype(np.float64))
+            scatter_add_rows(membrane, sample[sl],
+                             values[sl][:, None] * wt64[j[sl]])
         return membrane
     # conv: decompose flat indices into (n, c, y, x) once, then scatter
     # each event through the K*K kernel offsets that cover it.
@@ -216,11 +232,47 @@ def integrate_events(spec, stream: EventStream,
     # so round each product identically (float32 value x float32
     # weight = the exact terms dense sums), then accumulate them in
     # float64 — the sum is at least as accurate as dense's own float32
-    # reduction, and the explicit upcast keeps np.add.at on its
-    # same-dtype fast path
+    # reduction
     values32 = values.astype(np.float32)
     # scatter into (N, OH, OW, C_out) rows so one fancy index covers the
     # whole fan-out of an event at a given offset
+    mem = np.zeros((n_out * oh * ow, c_out), dtype=np.float64)
+    for ky, kx, ok, oy, ox in conv_offset_coverage(
+            y, x, spec.kernel_size, spec.stride, spec.padding, oh, ow):
+        rows = (n[ok] * oh + oy) * ow + ox
+        cs = c[ok]
+        vals32 = values32[ok]
+        w_t = spec.weight[:, :, ky, kx].T
+        for sl in scatter_chunks(len(rows), c_out):
+            contrib = vals32[sl][:, None] * w_t[cs[sl]]
+            scatter_add_rows(mem, rows[sl], contrib.astype(np.float64))
+    return mem.reshape(n_out, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+
+def integrate_events_reference(spec, stream: EventStream,
+                               values: np.ndarray, plan=None) -> np.ndarray:
+    """The PR-4 ``np.add.at`` scatter, kept verbatim as the semantic
+    reference: :func:`integrate_events` (with or without a plan) must
+    match it *bitwise* — the property suite and the ``scatter`` variant
+    of ``benchmarks/bench_event_stream.py`` both hold it to that.
+    ``plan`` is accepted and ignored so the two are drop-in
+    interchangeable."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) != stream.num_events:
+        raise ValueError(
+            f"got {len(values)} values for {stream.num_events} events")
+    out_shape = output_shape(spec, stream.shape)
+    if spec.kind == "linear":
+        sample, j = stream.unravel()
+        membrane = np.zeros(out_shape, dtype=np.float64)
+        for sl in scatter_chunks(stream.num_events, out_shape[1]):
+            np.add.at(membrane, sample[sl],
+                      values[sl][:, None]
+                      * spec.weight.T[j[sl]].astype(np.float64))
+        return membrane
+    n_out, c_out, oh, ow = out_shape
+    n, c, y, x = stream.unravel()
+    values32 = values.astype(np.float32)
     mem = np.zeros((n_out * oh * ow, c_out), dtype=np.float64)
     for ky, kx, ok, oy, ox in conv_offset_coverage(
             y, x, spec.kernel_size, spec.stride, spec.padding, oh, ow):
@@ -258,7 +310,14 @@ def fire_times_from_membrane(membrane: np.ndarray, kernel, window: int,
 
 @dataclass
 class LayerTrace:
-    """Per-layer record of one simulation run."""
+    """Per-layer record of one simulation run.
+
+    ``backend`` is the execution path that actually ran the layer
+    (``"dense"`` / ``"event"``; ``"mixed"`` after merging chunks that
+    disagreed, ``None`` for schemes that don't record it) — under
+    ``backend="auto"`` this is how reports and serve metrics surface the
+    per-layer choice.
+    """
 
     name: str
     input_spikes: int
@@ -266,6 +325,7 @@ class LayerTrace:
     neurons: int
     sops: int  # synaptic operations = sum over input spikes of fan-out
     membrane: Optional[np.ndarray] = None
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -300,9 +360,10 @@ class CodingScheme:
     another copy of the walk.
 
     :attr:`backend` selects the execution formulation (``dense`` |
-    ``event``, see :data:`BACKENDS`); both must produce the same
-    results — the parity suite asserts it for every registered scheme.
-    Schemes that have no event formulation simply ignore the attribute.
+    ``event`` | ``auto``, see :data:`BACKENDS`); all must produce the
+    same results — the parity suite asserts it for every registered
+    scheme.  Schemes that have no event formulation simply ignore the
+    attribute.
     """
 
     scheme_name: str = ""

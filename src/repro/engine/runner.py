@@ -33,7 +33,10 @@ def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
     """Fold per-chunk layer traces into whole-batch totals.
 
     Spike, neuron and SOP counts sum across chunks; recorded membranes
-    concatenate along the batch axis.
+    concatenate along the batch axis.  The recorded execution backend
+    survives when every chunk agrees and degrades to ``"mixed"`` when
+    they don't (``auto`` may legitimately pick different paths for
+    chunks of different spike density).
     """
     if not trace_lists:
         return []
@@ -46,6 +49,7 @@ def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
         if len(names) != 1:
             raise ValueError(f"chunks disagree on layer names: {names}")
         membranes = [t.membrane for t in per_layer]
+        backends = {t.backend for t in per_layer}
         merged.append(LayerTrace(
             name=per_layer[0].name,
             input_spikes=sum(t.input_spikes for t in per_layer),
@@ -54,6 +58,7 @@ def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
             sops=sum(t.sops for t in per_layer),
             membrane=(np.concatenate(membranes, axis=0)
                       if all(m is not None for m in membranes) else None),
+            backend=(backends.pop() if len(backends) == 1 else "mixed"),
         ))
     return merged
 
@@ -72,7 +77,7 @@ class PipelineRunner:
     scheme's ``merge``.  ``stream`` exposes the per-chunk results for
     callers that want online consumption (progress display, per-chunk
     persistence) instead of one aggregate.  ``backend`` (``dense`` |
-    ``event``) overrides the scheme's execution backend while this
+    ``event`` | ``auto``) overrides the scheme's execution backend while this
     runner simulates — the scheme object itself is left as it was, so
     an override never leaks into later uses of the same instance.
     """

@@ -35,6 +35,7 @@ from ..engine.executor import (
     SpikeTrainScheme,
     validate_backend,
 )
+from ..engine.plan import PlanSet, choose_backend, scatter_add_rows
 from ..engine.registry import register_scheme
 from ..events import EventStream, conv_offset_coverage, scatter_chunks
 from ..quant.logquant import LogQuantConfig, quantize_tensor
@@ -76,9 +77,13 @@ class FixedPointInference(SpikeTrainScheme):
 
     def __init__(self, snn: ConvertedSNN, cfg: Optional[HwConfig] = None,
                  weight_config: Optional[LogQuantConfig] = None,
-                 precision_bits: int = 16, backend: str = "dense"):
+                 precision_bits: int = 16, backend: str = "dense",
+                 plans: Optional[PlanSet] = None):
         self.snn = snn
         self.backend = validate_backend(backend)
+        # compiled event plans: the integer datapath reuses their conv
+        # coverage tables (the weights themselves stay quantised)
+        self.plans = plans if plans is not None else PlanSet()
         self.cfg = cfg or HwConfig(window=snn.config.window,
                                    tau=snn.config.tau)
         if not math.log2(snn.config.tau).is_integer():
@@ -141,17 +146,19 @@ class FixedPointInference(SpikeTrainScheme):
         xc = self.pe.encode_log2(-stream.times / self.snn.config.tau)
         wc = self.pe.encode_log2(qt.log2_magnitudes)
         w_nonzero = qt.codes >= 0
-        # chunk the (events x outputs) product block to bound memory
+        # chunk the (events x outputs) product block to bound memory;
+        # the scatter itself is the engine's shared segment-sum kernel
         for sl in scatter_chunks(stream.num_events, d_out):
             js = j[sl]
             prods = self.pe.multiply(xc[sl][:, None], wc[:, js].T,
                                      qt.signs[:, js].T)
-            np.add.at(acc, sample[sl],
-                      np.where(w_nonzero[:, js].T, prods, 0))
+            scatter_add_rows(acc, sample[sl],
+                             np.where(w_nonzero[:, js].T, prods, 0))
         return acc
 
     def _products_conv_events(self, stream: EventStream, qt,
-                              spec: LayerSpec) -> np.ndarray:
+                              spec: LayerSpec,
+                              plan=None) -> np.ndarray:
         """Event-driven fixed-point PSP sums for a conv layer.
 
         Each spike event scatters its integer products through the K*K
@@ -159,6 +166,10 @@ class FixedPointInference(SpikeTrainScheme):
         :func:`~repro.engine.executor.integrate_events`) — no dense
         unfolding, so the cost tracks the event count.  Integer
         accumulation makes it bitwise-identical to the im2col path.
+        The scatter is the engine's shared segment-sum kernel, chunked
+        within each kernel tap to bound the transient product block,
+        and a compiled plan's coverage tables replace the per-batch
+        offset derivation when one is supplied.
         """
         n_out, c_out, oh, ow = executor.output_shape(spec, stream.shape)
         acc = np.zeros((n_out * oh * ow, c_out), dtype=np.int64)
@@ -169,14 +180,26 @@ class FixedPointInference(SpikeTrainScheme):
         xc = self.pe.encode_log2(-stream.times / self.snn.config.tau)
         wc = self.pe.encode_log2(qt.log2_magnitudes)
         w_nonzero = qt.codes >= 0
-        for ky, kx, ok, oy, ox in conv_offset_coverage(
-                y, x, spec.kernel_size, spec.stride, spec.padding, oh, ow):
+        if plan is not None:
+            coverage = ((ky, kx, ok, n[ok] * (oh * ow) + cells)
+                        for ky, kx, ok, cells
+                        in plan.coverage(y * stream.shape[3] + x))
+        else:
+            coverage = ((ky, kx, ok, (n[ok] * oh + oy) * ow + ox)
+                        for ky, kx, ok, oy, ox in conv_offset_coverage(
+                            y, x, spec.kernel_size, spec.stride,
+                            spec.padding, oh, ow))
+        for ky, kx, ok, rows in coverage:
             cs = c[ok]
-            prods = self.pe.multiply(xc[ok][:, None], wc[:, cs, ky, kx].T,
-                                     qt.signs[:, cs, ky, kx].T)
-            rows = (n[ok] * oh + oy) * ow + ox
-            np.add.at(acc, rows,
-                      np.where(w_nonzero[:, cs, ky, kx].T, prods, 0))
+            xt = xc[ok]
+            for sl in scatter_chunks(len(rows), c_out):
+                css = cs[sl]
+                prods = self.pe.multiply(xt[sl][:, None],
+                                         wc[:, css, ky, kx].T,
+                                         qt.signs[:, css, ky, kx].T)
+                scatter_add_rows(acc, rows[sl],
+                                 np.where(w_nonzero[:, css, ky, kx].T,
+                                          prods, 0))
         return acc.reshape(n_out, oh, ow, c_out).transpose(0, 3, 1, 2)
 
     def _products_conv(self, times: np.ndarray, qt,
@@ -209,25 +232,38 @@ class FixedPointInference(SpikeTrainScheme):
         cfg = self.snn.config
         times = self.kernel.spike_time(values, theta0=cfg.theta0,
                                        window=cfg.window)
-        if self.backend == "event":
+        if self.backend in ("event", "auto"):
             return EventStream.from_dense(times, cfg.window)
         return SpikeTrain(times=times, window=cfg.window)
 
     def encode_input(self, images: np.ndarray, ctx: ExecutionContext):
         return self._encode(np.asarray(images, dtype=np.float64))
 
+    def _resolve_backend(self, spec: LayerSpec, train) -> str:
+        """Per-layer path under ``auto`` (integer math is bitwise-equal
+        both ways, so the choice is purely a cost call)."""
+        if self.backend != "auto":
+            return self.backend
+        return choose_backend(spec, train.num_events, train.shape)
+
     def weight_layer(self, spec: LayerSpec, train, ctx: ExecutionContext):
         scale = 1 << self.pe.precision_bits
         qt = self._quantized[id(spec)]
-        if self.backend == "event":
+        layer_backend = self._resolve_backend(spec, train)
+        if layer_backend == "event":
             if spec.kind == "conv":
-                acc = self._products_conv_events(train, qt, spec)
+                plan = self.plans.plan_for(spec, ctx.weight_index,
+                                           train.shape)
+                acc = self._products_conv_events(train, qt, spec, plan)
             else:
                 acc = self._products_linear_events(train, qt)
-        elif spec.kind == "conv":
-            acc = self._products_conv(train.times, qt, spec)
         else:
-            acc = self._products_linear(train.times, qt)
+            times = (train.to_dense() if isinstance(train, EventStream)
+                     else train.times)
+            if spec.kind == "conv":
+                acc = self._products_conv(times, qt, spec)
+            else:
+                acc = self._products_linear(times, qt)
         # PPU: bias added once per window, in fixed point.
         bias = executor.bias_shaped(spec)
         acc = acc + np.round(bias * scale).astype(np.int64)

@@ -10,6 +10,9 @@ bundle/
                   build config + metrics, per-file content digests
   snn.npz         the converted (and usually log-quantised) SNN
                   (repro.nn.serialization.save_converted, itself versioned)
+  plans.npz       optional (schema >= 2): compiled event-execution plans
+                  (repro.engine.plan.save_plans, itself versioned), so a
+                  session pays zero plan-compile cost per request
   model.npz       optional: the trained ANN state dict, for re-derivation
 ```
 
@@ -33,12 +36,18 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 PathLike = Union[str, "os.PathLike[str]"]
 
-#: Bump when the bundle layout changes; loaders refuse other versions.
-ARTIFACT_SCHEMA_VERSION = 1
+#: The version new bundles are written at.  v2 added the optional
+#: compiled-plans file (``plans.npz`` + a ``plans`` manifest section).
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Versions loaders accept.  v1 bundles (no plans) stay loadable —
+#: sessions simply compile plans at open time instead.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 SNN_FILE = "snn.npz"
 MODEL_FILE = "model.npz"
+PLANS_FILE = "plans.npz"
 
 #: The pipeline stages that belong to build time, in execution order.
 BUILD_STAGES = ("train", "convert", "quantize")
@@ -67,6 +76,7 @@ class ModelArtifact:
         self.path = Path(path)
         self.manifest = manifest
         self._snn = None
+        self._plans = None
 
     # -- manifest accessors --------------------------------------------
     @property
@@ -111,6 +121,23 @@ class ModelArtifact:
                     f"artifact at {self.path}: {exc}") from None
         return self._snn
 
+    @property
+    def plans(self):
+        """The bundle's compiled execution plans, or ``None``.
+
+        ``None`` for v1 bundles and v2 bundles built without an input
+        shape; callers fall back to lazy compile-on-first-use.
+        """
+        if self._plans is None and self.manifest.get("plans"):
+            from ..engine.plan import PlanError, load_plans
+
+            try:
+                self._plans = load_plans(self.path / PLANS_FILE)
+            except PlanError as exc:
+                raise ArtifactError(
+                    f"artifact at {self.path}: {exc}") from None
+        return self._plans
+
     def open(self, **overrides):
         """An :class:`~repro.serve.session.InferenceSession` over this bundle."""
         from .session import InferenceSession
@@ -138,16 +165,20 @@ class ModelArtifact:
              input_shape: Optional[Sequence[int]] = None,
              config: Optional[Dict[str, Any]] = None,
              metrics: Optional[Dict[str, Any]] = None,
-             model=None, overwrite: bool = False) -> "ModelArtifact":
+             model=None, overwrite: bool = False,
+             include_plans: bool = True) -> "ModelArtifact":
         """Write a bundle directory from in-memory build products.
 
         ``snn`` is the converted network; ``model`` (optional) the
         trained ANN whose state dict rides along in ``model.npz``.
-        Refuses a directory that already holds a manifest unless
-        ``overwrite`` is set, so a registry slot is never silently
-        clobbered.
+        When ``input_shape`` is known, the event-execution plans are
+        compiled here — at build time — and shipped in ``plans.npz``
+        (disable with ``include_plans=False``).  Refuses a directory
+        that already holds a manifest unless ``overwrite`` is set, so a
+        registry slot is never silently clobbered.
         """
         from .. import __version__
+        from ..engine.plan import compile_plans, save_plans
         from ..engine.registry import resolve_scheme_name
         from ..nn.serialization import save_converted, save_model
 
@@ -164,6 +195,12 @@ class ModelArtifact:
         if model is not None:
             save_model(model, path / MODEL_FILE, artifact=name)
             files[MODEL_FILE] = file_digest(path / MODEL_FILE)
+        plans_meta = None
+        if include_plans and input_shape:
+            plans = compile_plans(snn, tuple(input_shape))
+            save_plans(plans, path / PLANS_FILE)
+            files[PLANS_FILE] = file_digest(path / PLANS_FILE)
+            plans_meta = {"file": PLANS_FILE, "num_layers": len(plans)}
         manifest = {
             "schema_version": ARTIFACT_SCHEMA_VERSION,
             "repro_version": __version__,
@@ -173,6 +210,7 @@ class ModelArtifact:
             "max_batch": int(max_batch),
             "quantization": quantization,
             "input_shape": list(input_shape) if input_shape else None,
+            "plans": plans_meta,
             "config": config,
             "metrics": metrics or {},
             "files": files,
@@ -278,10 +316,11 @@ class ModelArtifact:
                 f"{manifest_path}: corrupted manifest (expected an object, "
                 f"got {type(manifest).__name__})")
         found = manifest.get("schema_version")
-        if found != ARTIFACT_SCHEMA_VERSION:
+        if found not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = "/".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
             raise ArtifactError(
-                f"{path}: artifact schema version mismatch — expected "
-                f"{ARTIFACT_SCHEMA_VERSION}, found "
+                f"{path}: artifact schema version mismatch — this checkout "
+                f"reads version {supported}, found "
                 f"{'none (missing field)' if found is None else found}; "
                 "rebuild the bundle with this checkout's 'repro build'")
         missing = [key for key in ("name", "scheme", "backend", "max_batch",

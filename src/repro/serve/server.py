@@ -38,6 +38,24 @@ from .session import InferenceSession
 PROTOCOL_VERSION = 1
 
 
+def merge_layer_backends(per_batch) -> Optional[Dict[str, str]]:
+    """Fold per-dispatch layer->backend maps into one request-level map.
+
+    Layers every dispatch ran the same way keep their value; layers the
+    ``auto`` backend routed differently across dispatches degrade to
+    ``"mixed"``.  ``None`` when no dispatch recorded anything.
+    """
+    recorded = [m for m in per_batch if m]
+    if not recorded:
+        return None
+    merged: Dict[str, str] = {}
+    for mapping in recorded:
+        for layer, backend in mapping.items():
+            if merged.setdefault(layer, backend) != backend:
+                merged[layer] = "mixed"
+    return merged
+
+
 class PredictionServer:
     """Serve every model in a registry over HTTP, micro-batched."""
 
@@ -206,6 +224,8 @@ class PredictionServer:
                         for _, batch in outcomes}.values())
         spikes = [b.total_spikes for b in batches]
         sops = [b.total_sops for b in batches]
+        layer_backends = merge_layer_backends(
+            [b.layer_backends for b in batches])
         metrics = {
             "latency_s": latency,
             "num_inputs": len(inputs),
@@ -218,6 +238,8 @@ class PredictionServer:
             "total_sops": (None if any(s is None for s in sops)
                            else int(sum(sops))),
         }
+        if layer_backends is not None:
+            metrics["layer_backends"] = layer_backends
         return 200, {"model": spec, "predictions": predictions,
                      "metrics": metrics}
 

@@ -35,6 +35,9 @@ class Prediction:
     ``total_spikes``/``total_sops`` are the *dispatched batch* totals —
     for per-item results yielded by ``predict_stream`` they describe the
     micro-batch the item rode in, not the single image.
+    ``layer_backends`` maps layer name to the execution path that
+    actually ran it, when the scheme recorded one (under
+    ``backend="auto"`` this is how clients see the per-layer choice).
     """
 
     predictions: np.ndarray   # (N,) predicted class ids
@@ -44,6 +47,7 @@ class Prediction:
     backend: str
     total_spikes: Optional[int] = None
     total_sops: Optional[int] = None
+    layer_backends: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -54,7 +58,17 @@ class Prediction:
             "backend": self.backend,
             "total_spikes": self.total_spikes,
             "total_sops": self.total_sops,
+            "layer_backends": self.layer_backends,
         }
+
+
+def traces_layer_backends(result) -> Optional[Dict[str, str]]:
+    """Per-layer executed-backend map off a result's traces, if recorded."""
+    traces = getattr(result, "traces", None)
+    if not traces:
+        return None
+    recorded = {t.name: t.backend for t in traces if t.backend is not None}
+    return recorded or None
 
 
 class InferenceSession:
@@ -80,6 +94,7 @@ class InferenceSession:
             raise ValueError("max_batch must be >= 1")
         self.snn = artifact.snn                       # deserialised once
         self._scheme = create_scheme(self.scheme_name, self.snn)
+        self._attach_plans()
         self._runner = PipelineRunner(self._scheme,
                                       max_batch=self.max_batch,
                                       backend=self.backend)
@@ -89,6 +104,24 @@ class InferenceSession:
             self._warmup()
 
     # ------------------------------------------------------------------
+    def _attach_plans(self) -> None:
+        """Hand the bundle's compiled plans (or fresh ones) to the scheme.
+
+        v2 bundles ship ``plans.npz``, so no plan is ever compiled at
+        request time; v1 bundles (or plan-less v2 ones) get plans
+        compiled here, once, at open time.  Schemes that don't take
+        plans are left alone.
+        """
+        if not hasattr(self._scheme, "plans"):
+            return
+        plans = self.artifact.plans
+        if plans is None and self.artifact.input_shape is not None:
+            from ..engine.plan import compile_plans
+
+            plans = compile_plans(self.snn, self.artifact.input_shape)
+        if plans is not None:
+            self._scheme.plans = plans
+
     def _warmup(self) -> None:
         """Exercise the encoder (and event path) on a zero image.
 
@@ -101,7 +134,7 @@ class InferenceSession:
             return
         zeros = np.zeros((1, *shape), dtype=np.float32)
         self.snn.encode_input(zeros)
-        if self.backend == "event":
+        if self.backend in ("event", "auto"):
             self.snn.input_events(zeros)
 
     def _as_batch(self, batch) -> np.ndarray:
@@ -130,7 +163,8 @@ class InferenceSession:
             batch_size=len(arr), latency_s=latency,
             scheme=self.scheme_name, backend=self.backend,
             total_spikes=None if spikes is None else int(spikes),
-            total_sops=None if sops is None else int(sops))
+            total_sops=None if sops is None else int(sops),
+            layer_backends=traces_layer_backends(result))
 
     def predict_stream(self, images: Iterable[Any]
                        ) -> Iterator[Prediction]:
@@ -158,7 +192,8 @@ class InferenceSession:
                 latency_s=batch_result.latency_s,
                 scheme=batch_result.scheme, backend=batch_result.backend,
                 total_spikes=batch_result.total_spikes,
-                total_sops=batch_result.total_sops)
+                total_sops=batch_result.total_sops,
+                layer_backends=batch_result.layer_backends)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -25,7 +25,7 @@ spike counts, synaptic operations (SOPs) and per-layer occupancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal
+from typing import List, Literal, Optional
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from ..engine.executor import (
     SpikeTrainScheme,
     validate_backend,
 )
+from ..engine.plan import PlanSet, choose_backend, occupied_steps
 from ..engine.registry import register_scheme
 from ..engine.runner import PipelineRunner, merge_traces
 from ..events import EventStream
@@ -89,7 +90,8 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
                  mode: Literal["timestep", "closed_form"] = "closed_form",
                  record_membranes: bool = False,
                  early_firing: bool = False,
-                 backend: str = "dense"):
+                 backend: str = "dense",
+                 plans: Optional[PlanSet] = None):
         self.snn = snn
         self.config = snn.config
         self.kernel = Base2Kernel(tau=snn.config.tau, base=snn.config.base)
@@ -97,6 +99,10 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         self.record_membranes = record_membranes
         self.early_firing = early_firing
         self.backend = validate_backend(backend)
+        # compiled event-execution plans; an empty PlanSet fills itself
+        # lazily (compile-on-first-use), a prebuilt one — e.g. loaded
+        # from a ModelArtifact bundle — skips even that
+        self.plans = plans if plans is not None else PlanSet()
         self.scheme_name = ("ttfs-early" if early_firing
                            else f"ttfs-{mode.replace('_', '-')}")
 
@@ -147,12 +153,13 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         """Per-event PSP amplitudes (the kernel-decoded spike values)."""
         return self.config.theta0 * self.kernel.value(stream.times)
 
-    def _integrate_events(self, spec: LayerSpec,
-                          stream: EventStream) -> np.ndarray:
+    def _integrate_events(self, spec: LayerSpec, stream: EventStream,
+                          plan=None) -> np.ndarray:
         """Integration phase as a scatter over only the events that
         occurred, plus the once-per-window bias (Eq. 4)."""
         membrane = executor.integrate_events(spec, stream,
-                                             self._event_values(stream))
+                                             self._event_values(stream),
+                                             plan)
         membrane += executor.bias_shaped(spec)
         return membrane
 
@@ -179,7 +186,8 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         flat_m[hit] = 0.0
 
     def _integrate_and_fire_early_events(self, spec: LayerSpec,
-                                         stream: EventStream, out_shape):
+                                         stream: EventStream, out_shape,
+                                         plan=None):
         """Event-driven early firing: walk only the *occupied* timesteps.
 
         Equivalent to :meth:`_integrate_and_fire_early`'s dense loop —
@@ -201,7 +209,8 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
                                 t - 1)
             group = stream.slice_events(a, b)
             membrane += executor.integrate_events(spec, group,
-                                                  self._event_values(group))
+                                                  self._event_values(group),
+                                                  plan)
             self._fire_span(membrane, fire_times, ascending, t, t)
             next_t = t + 1
         if next_t <= window:
@@ -219,7 +228,9 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
     # ------------------------------------------------------------------
     def encode_input(self, images: np.ndarray, ctx: ExecutionContext):
         cfg = self.config
-        if self.backend == "event":
+        if self.backend in ("event", "auto"):
+            # auto keeps an EventStream as the canonical inter-layer
+            # state — the per-layer decision needs its event counts
             train = self.snn.input_events(images)
         else:
             train = encode_values(np.asarray(images, dtype=np.float64),
@@ -237,21 +248,22 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         in_spikes = stream.num_spikes
         sops = executor.layer_sops(spec, in_spikes)
         name = f"{spec.kind}{ctx.weight_index}"
+        plan = self.plans.plan_for(spec, ctx.weight_index, stream.shape)
 
         if spec.is_output:
-            membrane = self._integrate_events(spec, stream)
+            membrane = self._integrate_events(spec, stream, plan)
             output = membrane * self.snn.output_scale
             ctx.record(LayerTrace(
                 name=name + "(out)", input_spikes=in_spikes, output_spikes=0,
-                neurons=int(np.prod(out_shape)), sops=sops,
+                neurons=int(np.prod(out_shape)), sops=sops, backend="event",
                 membrane=output if self.record_membranes else None))
             return output
 
         if self.early_firing:
             out_times, membrane = self._integrate_and_fire_early_events(
-                spec, stream, out_shape)
+                spec, stream, out_shape, plan)
         else:
-            membrane = self._integrate_events(spec, stream)
+            membrane = self._integrate_events(spec, stream, plan)
             if self.mode == "timestep":
                 # the dense fire sweep resets fired membranes, exactly
                 # like run_fire_phase on a fresh pool
@@ -266,13 +278,34 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         ctx.record(LayerTrace(
             name=name, input_spikes=in_spikes,
             output_spikes=out_stream.num_spikes,
-            neurons=int(np.prod(out_shape)), sops=sops,
+            neurons=int(np.prod(out_shape)), sops=sops, backend="event",
             membrane=membrane.copy() if self.record_membranes else None))
         return out_stream
 
+    def _resolve_backend(self, spec: LayerSpec, state) -> str:
+        """The execution path this layer runs under the scheme backend.
+
+        Under ``auto`` the layer's own event count prices the scatter
+        against the dense walk (which runs once for the closed form and
+        once per *occupied* timestep for the stepped/early paths).
+        """
+        if self.backend != "auto":
+            return self.backend
+        dense_steps = 1
+        if self.mode == "timestep" or self.early_firing:
+            dense_steps = max(occupied_steps(state), 1)
+        return choose_backend(spec, state.num_events, state.shape,
+                              dense_steps)
+
     def weight_layer(self, spec: LayerSpec, train, ctx: ExecutionContext):
-        if self.backend == "event":
+        layer_backend = self._resolve_backend(spec, train)
+        if layer_backend == "event":
             return self._weight_layer_events(spec, train, ctx)
+        if isinstance(train, EventStream):
+            # auto chose dense for this layer: densify the stream (the
+            # spike times are identical either way, so the choice can
+            # never change what the layer computes)
+            train = SpikeTrain(train.to_dense(), train.window)
         cfg = self.config
         out_shape = executor.output_shape(spec, train.shape)
         pool = IFNeuronPool(shape=out_shape, kernel=self.kernel,
@@ -286,7 +319,7 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
             output = pool.membrane * self.snn.output_scale
             ctx.record(LayerTrace(
                 name=name + "(out)", input_spikes=in_spikes, output_spikes=0,
-                neurons=int(np.prod(out_shape)), sops=sops,
+                neurons=int(np.prod(out_shape)), sops=sops, backend="dense",
                 membrane=output if self.record_membranes else None))
             return output
 
@@ -301,8 +334,11 @@ class EventDrivenTTFSNetwork(SpikeTrainScheme):
         ctx.record(LayerTrace(
             name=name, input_spikes=in_spikes,
             output_spikes=out_train.num_spikes,
-            neurons=int(np.prod(out_shape)), sops=sops,
+            neurons=int(np.prod(out_shape)), sops=sops, backend="dense",
             membrane=pool.membrane.copy() if self.record_membranes else None))
+        if self.backend == "auto":
+            # back to the canonical event-stream state for later layers
+            return EventStream.from_dense(out_train.times, out_train.window)
         return out_train
 
     def finalize(self, output: np.ndarray,

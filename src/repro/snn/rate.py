@@ -29,7 +29,7 @@ step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from ..engine.executor import (
     LayerTrace,
     validate_backend,
 )
+from ..engine.plan import PlanSet, choose_backend
 from ..engine.registry import register_scheme
 from ..engine.runner import PipelineRunner
 from ..events import EventStream
@@ -94,13 +95,14 @@ class RateCodedNetwork(CodingScheme):
     scheme_name = "rate"
 
     def __init__(self, snn: ConvertedSNN, timesteps: int = 32,
-                 backend: str = "dense"):
+                 backend: str = "dense", plans: Optional[PlanSet] = None):
         if timesteps < 1:
             raise ValueError("need at least one timestep")
         self.snn = snn
         self.timesteps = timesteps
         self.theta0 = snn.config.theta0
         self.backend = validate_backend(backend)
+        self.plans = plans if plans is not None else PlanSet()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -110,18 +112,19 @@ class RateCodedNetwork(CodingScheme):
         out = op(data.reshape((t * n,) + data.shape[2:]))
         return out.reshape((t, n) + out.shape[1:])
 
-    def _fold(self, spec: LayerSpec, signal: _RateSignal) -> np.ndarray:
+    def _fold(self, spec: LayerSpec, signal: _RateSignal,
+              ctx: ExecutionContext, layer_backend: str) -> np.ndarray:
         """Per-step pre-activations ``z`` with the time axis leading."""
         if not signal.per_step:
             z = executor.affine(spec, signal.data)
             return np.broadcast_to(z, (self.timesteps,) + z.shape)
-        if self.backend == "event":
-            return self._fold_events(spec, signal)
+        if layer_backend == "event":
+            return self._fold_events(spec, signal, ctx)
         return self._map_steps(lambda x: executor.affine(spec, x),
                                signal.data)
 
-    def _fold_events(self, spec: LayerSpec,
-                     signal: _RateSignal) -> np.ndarray:
+    def _fold_events(self, spec: LayerSpec, signal: _RateSignal,
+                     ctx: ExecutionContext) -> np.ndarray:
         """Event-backend fold: scatter only the spikes that occurred.
 
         A per-step firing signal holds ``theta0`` at spiking neurons and
@@ -132,10 +135,30 @@ class RateCodedNetwork(CodingScheme):
         """
         data = signal.data
         stream = EventStream.from_masks(data != 0).fold_time()
+        plan = self.plans.plan_for(spec, ctx.weight_index, stream.shape)
         z = executor.integrate_events(spec, stream,
-                                      data.reshape(-1)[stream.indices])
+                                      data.reshape(-1)[stream.indices],
+                                      plan)
         z += executor.bias_shaped(spec)
         return z.reshape(data.shape[:2] + z.shape[1:])
+
+    def _resolve_backend(self, spec: LayerSpec,
+                         signal: _RateSignal) -> str:
+        """The fold path this layer runs under the scheme backend.
+
+        A not-yet-per-step signal always folds as one broadcast affine
+        map (there is nothing event-shaped to scatter); otherwise
+        ``auto`` prices the spike scatter against the T-folded dense
+        affine over the actual nonzero count.
+        """
+        if not signal.per_step:
+            return "dense"
+        if self.backend != "auto":
+            return self.backend
+        data = signal.data
+        num_events = int(np.count_nonzero(data))
+        in_shape = (data.shape[0] * data.shape[1],) + data.shape[2:]
+        return choose_backend(spec, num_events, in_shape, dense_steps=1)
 
     # ------------------------------------------------------------------
     # CodingScheme hooks
@@ -149,7 +172,8 @@ class RateCodedNetwork(CodingScheme):
     def weight_layer(self, spec: LayerSpec, signal: _RateSignal,
                      ctx: ExecutionContext):
         theta = self.theta0
-        z = self._fold(spec, signal)
+        layer_backend = self._resolve_backend(spec, signal)
+        z = self._fold(spec, signal, ctx, layer_backend)
         if spec.is_output:
             # readout accumulates membrane without firing
             return z.sum(axis=0)
@@ -165,7 +189,8 @@ class RateCodedNetwork(CodingScheme):
             fires[t] = fire
         ctx.record(LayerTrace(
             name=f"{spec.kind}{ctx.weight_index}", input_spikes=0,
-            output_spikes=spikes, neurons=int(membrane.size), sops=0))
+            output_spikes=spikes, neurons=int(membrane.size), sops=0,
+            backend=layer_backend))
         return _RateSignal(fires * theta, per_step=True)
 
     def pool(self, spec: LayerSpec, signal: _RateSignal,

@@ -193,7 +193,8 @@ class TestArtifactStages:
         for name in config.stages:
             get_stage(name, config).run(ctx)
         assert ctx.metrics["export"]["path"] == str(tmp_path / "bundle")
-        assert ctx.metrics["export"]["files"] == ["model.npz", "snn.npz"]
+        assert ctx.metrics["export"]["files"] == ["model.npz", "plans.npz",
+                                                  "snn.npz"]
 
         restore_config = micro_config(
             stages=("restore", "simulate"),

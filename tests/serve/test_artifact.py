@@ -25,7 +25,8 @@ class TestSaveLoadRoundtrip:
         assert loaded.max_batch == 8
         assert loaded.input_shape == (3, 8, 8)
         assert loaded.manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION
-        assert sorted(loaded.manifest["files"]) == ["model.npz", "snn.npz"]
+        assert sorted(loaded.manifest["files"]) == ["model.npz", "plans.npz",
+                                                    "snn.npz"]
 
     def test_snn_forward_identical(self, micro_bundle, converted_micro,
                                    tiny_dataset):
@@ -79,7 +80,7 @@ class TestIntegrityChecks:
         self._mutate_manifest(artifact.path,
                               lambda m: m.update(schema_version=99))
         with pytest.raises(ArtifactError,
-                           match=r"expected 1, found 99.*rebuild"):
+                           match=r"reads version 1/2, found 99.*rebuild"):
             ModelArtifact.load(artifact.path)
 
     def test_missing_schema_version(self, tmp_path, converted_micro):
@@ -164,3 +165,65 @@ class TestPeek:
         (artifact.path / MANIFEST_NAME).write_text(json.dumps(manifest))
         with pytest.raises(ArtifactError, match="schema version"):
             ModelArtifact.peek(artifact.path)
+
+
+class TestPlans:
+    def test_bundle_ships_compiled_plans(self, micro_bundle,
+                                         converted_micro):
+        loaded = ModelArtifact.load(micro_bundle.path)
+        assert loaded.manifest["plans"] == {
+            "file": "plans.npz",
+            "num_layers": len(converted_micro.weight_layers)}
+        plans = loaded.plans
+        assert plans is not None
+        assert len(plans) == len(converted_micro.weight_layers)
+        assert loaded.plans is plans                 # memoised
+
+    def test_save_without_plans_is_supported(self, tmp_path,
+                                             converted_micro):
+        artifact = ModelArtifact.save(tmp_path / "b", converted_micro,
+                                      name="m", scheme="rate",
+                                      input_shape=(3, 8, 8),
+                                      include_plans=False)
+        assert artifact.manifest["plans"] is None
+        loaded = ModelArtifact.load(artifact.path)
+        assert loaded.plans is None
+        assert "plans.npz" not in loaded.manifest["files"]
+
+    def test_v1_bundle_without_plans_still_loads(self, tmp_path,
+                                                 converted_micro,
+                                                 tiny_dataset):
+        """Back compat: pre-plans manifests open and predict fine."""
+        artifact = ModelArtifact.save(tmp_path / "v1", converted_micro,
+                                      name="m", scheme="ttfs-closed-form",
+                                      input_shape=(3, 8, 8),
+                                      include_plans=False)
+        manifest = json.loads((artifact.path / MANIFEST_NAME).read_text())
+        manifest["schema_version"] = 1
+        del manifest["plans"]
+        (artifact.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+        loaded = ModelArtifact.load(artifact.path)
+        assert loaded.manifest["schema_version"] == 1
+        assert loaded.plans is None
+        # the session compiles plans at open time instead
+        session = loaded.open(warmup=False, backend="event")
+        assert len(session._scheme.plans) == \
+            len(converted_micro.weight_layers)
+        x = tiny_dataset.test_x[:6]
+        np.testing.assert_array_equal(
+            session.predict(x).predictions,
+            ModelArtifact.save(tmp_path / "v2", converted_micro,
+                               name="m", scheme="ttfs-closed-form",
+                               input_shape=(3, 8, 8))
+            .open(warmup=False, backend="event").predict(x).predictions)
+
+    def test_corrupted_plans_file_is_actionable(self, tmp_path,
+                                                converted_micro):
+        artifact = ModelArtifact.save(tmp_path / "b", converted_micro,
+                                      name="m", scheme="rate",
+                                      input_shape=(3, 8, 8))
+        peeked = ModelArtifact.peek(artifact.path)   # skips file digests
+        (artifact.path / "plans.npz").write_bytes(b"garbage")
+        with pytest.raises(ArtifactError, match="not a readable plan"):
+            peeked.plans
