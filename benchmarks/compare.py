@@ -1,23 +1,33 @@
 #!/usr/bin/env python
-"""Diff a fresh event-stream bench run against the committed baseline.
+"""Diff a fresh bench run against its committed repo-root baseline.
 
-The committed ``BENCH_event_stream.json`` at the repo root pins the
-performance story of the compiled-plan event path: its *ratio* metrics
-(``speedup``, ``scatter_speedup``, ``auto_vs_best``) cancel out absolute
-machine speed, so they transfer across hosts far better than raw
-milliseconds.  This script compares those ratios record-by-record
-against a fresh ``benchmarks/results/event_stream.json`` and flags any
-that regressed beyond a relative tolerance.
+Each *suite* pins one performance story with a committed baseline at
+the repo root whose **ratio** metrics cancel out absolute machine
+speed, so they transfer across hosts far better than raw milliseconds:
+
+* ``event_stream`` — the compiled-plan event path
+  (``BENCH_event_stream.json``: ``speedup``, ``scatter_speedup``,
+  ``auto_vs_best``);
+* ``serve`` — the multi-process serving fleet (``BENCH_serve.json``:
+  ``rps_vs_single``, requests/sec per worker count relative to one
+  in-process session).
+
+This script compares those ratios record-by-record against the fresh
+``benchmarks/results/<suite>.json`` and flags any that regressed
+beyond a relative tolerance.
 
 Usage::
 
-    python benchmarks/compare.py                     # strict: exit 1
+    python benchmarks/compare.py                     # event_stream, strict
+    python benchmarks/compare.py --suite serve       # the fleet suite
     python benchmarks/compare.py --warn-only         # CI: report only
     python benchmarks/compare.py --tolerance 0.4
 
 Only regressions count — a fresh run that is *faster* than baseline
-never fails.  ``auto_vs_best`` is the one lower-is-better metric; it
-regresses when it grows.
+never fails.  Lower-is-better metrics (``auto_vs_best``) regress when
+they grow.  Records present only in the fresh run (e.g. a 4-worker
+fleet measurement the 1-core baseline host could not take) are
+ignored; records missing from the fresh run are regressions.
 """
 
 from __future__ import annotations
@@ -28,48 +38,75 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BASELINE = REPO_ROOT / "BENCH_event_stream.json"
-FRESH = REPO_ROOT / "benchmarks" / "results" / "event_stream.json"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
 
-#: metric name -> True when higher is better.
-RATIO_METRICS = {
-    "speedup": True,
-    "scatter_speedup": True,
-    "auto_vs_best": False,
+
+def _event_stream_key(record: dict) -> tuple:
+    return (record["scheme"], record["window"], record["input_density"])
+
+
+def _serve_key(record: dict) -> tuple:
+    return (record["mode"], record["workers"])
+
+
+#: suite name -> how to load and diff it.  ``metrics`` maps each ratio
+#: metric to True when higher is better.
+SUITES = {
+    "event_stream": {
+        "baseline": REPO_ROOT / "BENCH_event_stream.json",
+        "fresh": RESULTS / "event_stream.json",
+        "bench": "benchmarks/bench_event_stream.py",
+        "schema_version": 2,
+        "metrics": {
+            "speedup": True,
+            "scatter_speedup": True,
+            "auto_vs_best": False,
+        },
+        "key": _event_stream_key,
+    },
+    "serve": {
+        "baseline": REPO_ROOT / "BENCH_serve.json",
+        "fresh": RESULTS / "serve.json",
+        "bench": "benchmarks/bench_serve.py",
+        "schema_version": 1,
+        "metrics": {
+            "rps_vs_single": True,
+        },
+        "key": _serve_key,
+    },
 }
 
 
-def load(path: pathlib.Path) -> dict:
+def load(path: pathlib.Path, suite: dict) -> dict:
     if not path.exists():
-        sys.exit(f"compare.py: {path} not found — run "
-                 f"benchmarks/bench_event_stream.py first (fresh run) or "
-                 f"commit a baseline (see BENCH_event_stream.json).")
+        sys.exit(f"compare.py: {path} not found — run {suite['bench']} "
+                 f"first (fresh run) or commit a baseline "
+                 f"(see {suite['baseline'].name}).")
     try:
         data = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         sys.exit(f"compare.py: {path} is not valid JSON: {exc}")
-    if data.get("schema_version") != 2:
+    expected = suite["schema_version"]
+    if data.get("schema_version") != expected:
         sys.exit(f"compare.py: {path} has schema_version "
-                 f"{data.get('schema_version')!r}, expected 2 — "
+                 f"{data.get('schema_version')!r}, expected {expected} — "
                  f"re-run the bench on this checkout.")
     return data
 
 
-def record_key(record: dict) -> tuple:
-    return (record["scheme"], record["window"], record["input_density"])
-
-
-def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+def compare(baseline: dict, fresh: dict, suite: dict,
+            tolerance: float) -> list[str]:
     """Return a list of human-readable regression messages."""
-    fresh_by_key = {record_key(r): r for r in fresh["records"]}
+    key_of = suite["key"]
+    fresh_by_key = {key_of(r): r for r in fresh["records"]}
     problems = []
     for base in baseline["records"]:
-        key = record_key(base)
+        key = key_of(base)
         got = fresh_by_key.get(key)
         if got is None:
             problems.append(f"{key}: missing from fresh run")
             continue
-        for metric, higher_is_better in RATIO_METRICS.items():
+        for metric, higher_is_better in suite["metrics"].items():
             base_v, got_v = base[metric], got[metric]
             if higher_is_better:
                 floor = base_v * (1.0 - tolerance)
@@ -90,12 +127,19 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Compare a fresh event-stream bench run against the "
-                    "committed BENCH_event_stream.json baseline.")
-    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE,
-                        help="committed baseline JSON (default: repo root)")
-    parser.add_argument("--fresh", type=pathlib.Path, default=FRESH,
-                        help="fresh run JSON (default: benchmarks/results)")
+        description="Compare a fresh bench run against its committed "
+                    "repo-root baseline.")
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default="event_stream",
+                        help="which bench suite to diff "
+                             "(default: event_stream)")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="committed baseline JSON "
+                             "(default: the suite's repo-root file)")
+    parser.add_argument("--fresh", type=pathlib.Path, default=None,
+                        help="fresh run JSON "
+                             "(default: the suite's benchmarks/results "
+                             "file)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative slack on each ratio metric "
                              "(default: 0.25 — bench hosts are noisy)")
@@ -103,19 +147,22 @@ def main(argv=None) -> int:
                         help="report regressions but exit 0 (CI mode)")
     args = parser.parse_args(argv)
 
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
-    problems = compare(baseline, fresh, args.tolerance)
+    suite = SUITES[args.suite]
+    baseline_path = args.baseline or suite["baseline"]
+    fresh_path = args.fresh or suite["fresh"]
+    baseline = load(baseline_path, suite)
+    fresh = load(fresh_path, suite)
+    problems = compare(baseline, fresh, suite, args.tolerance)
 
-    n = len(baseline["records"]) * len(RATIO_METRICS)
+    n = len(baseline["records"]) * len(suite["metrics"])
     if problems:
         print(f"compare.py: {len(problems)} regression(s) against "
-              f"{args.baseline.name} (tolerance {args.tolerance:.0%}):")
+              f"{baseline_path.name} (tolerance {args.tolerance:.0%}):")
         for p in problems:
             print(f"  - {p}")
         return 0 if args.warn_only else 1
-    print(f"compare.py: all {n} ratio checks within "
-          f"{args.tolerance:.0%} of {args.baseline.name}")
+    print(f"compare.py: all {n} {args.suite} ratio checks within "
+          f"{args.tolerance:.0%} of {baseline_path.name}")
     return 0
 
 

@@ -503,14 +503,29 @@ def _cmd_serve(args) -> int:
               "models; publish one with 'repro build ... --registry "
               f"{args.registry}'", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("repro serve: error: --workers must be >= 0",
+              file=sys.stderr)
+        return 2
+    if args.max_queue < 0:
+        print("repro serve: error: --max-queue must be >= 0 "
+              "(0 = unbounded)", file=sys.stderr)
+        return 2
     server = PredictionServer(
         registry, host=args.host, port=args.port,
         scheme=args.scheme or None, backend=args.backend or None,
         max_batch=args.max_batch or None,
-        batch_wait_s=args.batch_wait_ms / 1000.0)
+        batch_wait_s=args.batch_wait_ms / 1000.0,
+        workers=args.workers, max_queue=args.max_queue,
+        mmap=args.mmap)
     server.start()
+    fleet = (f"{args.workers} worker process(es) per model, mmap'd "
+             "bundles" if args.workers else "in-process sessions")
     print(f"serving {len(names)} model(s) on {server.url}: "
           f"{', '.join(names)}")
+    print(f"fleet: {fleet}; admission queue "
+          + (f"{args.max_queue} image(s), 503 beyond"
+             if args.max_queue else "unbounded"))
     print("endpoints: GET /healthz, GET /models, POST /predict "
           "(Ctrl-C to stop)")
     server.serve_forever()
@@ -743,6 +758,17 @@ def _add_serve_parser(sub) -> None:
     p.add_argument("--batch-wait-ms", type=float, default=5.0,
                    help="how long a dispatch waits for concurrent "
                         "requests to coalesce")
+    p.add_argument("--workers", type=int, default=0,
+                   help="session processes per model (0 = one in-process "
+                        "session; N = a worker fleet sharing one mmap'd "
+                        "copy of each bundle)")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="per-model admission bound in images; beyond it "
+                        "requests are shed with HTTP 503 + Retry-After "
+                        "(0 = unbounded)")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map bundle weights even for in-process "
+                        "sessions (implied by --workers)")
     p.set_defaults(fn=_cmd_serve)
 
 

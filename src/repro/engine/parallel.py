@@ -74,19 +74,43 @@ class SchemeSpec:
         return scheme
 
 
-# Per-worker scheme instance, built once by the pool initializer.
-_WORKER_SCHEME = None
+# ----------------------------------------------------------------------
+# Picklable-spec worker bootstrap
+#
+# The pattern every process-parallel layer in the package shares: ship a
+# small picklable *spec* to each worker, build the heavy live object
+# (scheme, inference session, ...) exactly once per process via the pool
+# initializer, and let tasks reach it through ``worker_state()``.  The
+# serving fleet (:mod:`repro.serve.pool`) reuses these hooks with its
+# own ``SessionSpec``.
+# ----------------------------------------------------------------------
+
+# Per-worker live object, built once by the pool initializer.
+_WORKER_STATE = None
 
 
-def _init_worker(spec: SchemeSpec) -> None:
-    global _WORKER_SCHEME
-    _WORKER_SCHEME = spec.build()
+def init_worker_state(spec) -> None:
+    """Pool initializer: build ``spec`` (anything with ``.build()``)."""
+    global _WORKER_STATE
+    _WORKER_STATE = spec.build()
+
+
+def worker_state():
+    """The live object :func:`init_worker_state` built in this process."""
+    if _WORKER_STATE is None:
+        raise RuntimeError(
+            "no worker state in this process — the pool must be created "
+            "with initializer=init_worker_state, initargs=(spec,)")
+    return _WORKER_STATE
+
+
+def worker_ready() -> bool:
+    """Cheap readiness probe: did this worker's initializer succeed?"""
+    return worker_state() is not None
 
 
 def _run_chunk(chunk: np.ndarray):
-    return _WORKER_SCHEME.run(chunk)
-
-
+    return worker_state().run(chunk)
 
 
 class ParallelRunner:
@@ -164,7 +188,8 @@ class ParallelRunner:
     def _ensure_pool(self):
         if self._pool is None:
             ctx = multiprocessing.get_context(self.start_method)
-            self._pool = ctx.Pool(self.workers, initializer=_init_worker,
+            self._pool = ctx.Pool(self.workers,
+                                  initializer=init_worker_state,
                                   initargs=(self.spec,))
         return self._pool
 

@@ -6,6 +6,17 @@ buffers; ``save_converted`` / ``load_converted`` persist a lowered
 configuration so a trained-and-converted network can ship without its
 training graph.
 
+Converted bundles written with ``compress=False`` (the serving default)
+store each array as an uncompressed (``ZIP_STORED``) ``.npy`` member,
+which makes the weights **memory-mappable**: ``load_converted(path,
+mmap_mode="r")`` maps every weight array straight off the file instead
+of copying it into anonymous memory, so N serving workers opening the
+same bundle share one page-cache copy of the weights instead of N
+private loads.  (``np.load`` ignores ``mmap_mode`` inside zip archives,
+so the mapping is done here, from each stored member's byte offset.)
+Compressed or pre-existing bundles degrade gracefully to an in-memory
+load.
+
 Converted bundles are *versioned and digested*: the header records
 ``format_version`` (:data:`CONVERTED_FORMAT_VERSION`) and a content
 digest over the layer manifest, coding config and weight arrays.  A
@@ -17,10 +28,11 @@ npz internals.
 
 from __future__ import annotations
 
+import ast
 import json
 import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -72,8 +84,14 @@ def _converted_digest(manifest, config_dict, output_scale, weights) -> str:
                   config_dict, float(output_scale), weights)
 
 
-def save_converted(snn, path: PathLike) -> None:
-    """Persist a ConvertedSNN (layer specs + coding config), versioned."""
+def save_converted(snn, path: PathLike, compress: bool = True) -> None:
+    """Persist a ConvertedSNN (layer specs + coding config), versioned.
+
+    ``compress=False`` writes the arrays as ``ZIP_STORED`` members so a
+    later :func:`load_converted` with ``mmap_mode="r"`` can map the
+    weights instead of copying them (the serving artifact writer uses
+    this).  Both layouts decode identically; only mappability differs.
+    """
     from dataclasses import asdict
 
     payload = {}
@@ -105,15 +123,91 @@ def save_converted(snn, path: PathLike) -> None:
     payload["__header__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8
     )
-    np.savez_compressed(path, **payload)
+    if compress:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
 
 
-def load_converted(path: PathLike):
-    """Inverse of :func:`save_converted` (with version + digest checks)."""
+def _npy_member_layout(fh, info: zipfile.ZipInfo):
+    """(dtype, shape, fortran, absolute data offset) of a stored member.
+
+    ``info.header_offset`` points at the member's *local* file header,
+    whose own name/extra lengths (bytes 26-30) govern where the payload
+    starts — they can differ from the central directory's.  The payload
+    is a ``.npy`` stream: magic, version, header length (2 bytes for
+    format 1.x, 4 for 2.x+), then a Python-literal header dict.
+    """
+    fh.seek(info.header_offset)
+    local = fh.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ValueError("not a local zip header")
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    fh.seek(info.header_offset + 30 + name_len + extra_len)
+    magic = fh.read(8)
+    if magic[:6] != b"\x93NUMPY":
+        raise ValueError("member is not a .npy stream")
+    major = magic[6]
+    header_len = int.from_bytes(fh.read(2 if major == 1 else 4), "little")
+    header = ast.literal_eval(fh.read(header_len).decode("latin1"))
+    dtype = np.dtype(header["descr"])
+    shape = tuple(header["shape"])
+    if dtype.hasobject or not shape:
+        raise ValueError("member is not a mappable plain array")
+    return dtype, shape, bool(header["fortran_order"]), fh.tell()
+
+
+def mmap_npz_members(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read-only memmaps of every mappable member of an ``.npz`` file.
+
+    Keys drop the ``.npy`` suffix (matching ``np.load``'s member names).
+    Compressed, object-dtype or zero-dim members are simply absent —
+    callers fall back to a regular load for those.
+    """
+    out: Dict[str, np.ndarray] = {}
+    path = Path(path)
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                continue
+            try:
+                dtype, shape, fortran, offset = _npy_member_layout(fh, info)
+            except (ValueError, SyntaxError, KeyError):
+                continue
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            out[name] = np.memmap(path, dtype=dtype, mode="r",
+                                  offset=offset, shape=shape,
+                                  order="F" if fortran else "C")
+    return out
+
+
+def load_converted(path: PathLike, mmap_mode: Optional[str] = None):
+    """Inverse of :func:`save_converted` (with version + digest checks).
+
+    ``mmap_mode="r"`` maps the weight arrays off the file (read-only,
+    page-cache shared across processes) when the bundle was written
+    uncompressed; compressed members silently fall back to in-memory
+    copies, so the call is safe on any bundle.
+    """
     from ..cat.convert import ConvertedSNN, LayerSpec
     from ..cat.schedule import CATConfig
 
+    if mmap_mode not in (None, "r"):
+        raise ValueError(
+            f"mmap_mode must be None or 'r', got {mmap_mode!r} — converted "
+            "bundles are immutable, writable maps are not supported")
     path = Path(path)
+    mapped: Dict[str, np.ndarray] = {}
+    if mmap_mode == "r":
+        try:
+            mapped = mmap_npz_members(path)
+        except (OSError, zipfile.BadZipFile) as exc:
+            raise SerializationError(
+                f"{path}: not a readable converted-SNN file ({exc})"
+            ) from None
     try:
         data = np.load(path, allow_pickle=False)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
@@ -139,10 +233,15 @@ def load_converted(path: PathLike):
                 "save_converted()")
         layers = []
         weights = []
+        def _array(key: str) -> np.ndarray:
+            if key in mapped:
+                return mapped[key]
+            return data[key]
+
         try:
             for i, entry in enumerate(header["manifest"]):
-                weight = data[f"w/{i}"] if entry["has_weight"] else None
-                bias = data[f"b/{i}"] if entry["has_weight"] else None
+                weight = _array(f"w/{i}") if entry["has_weight"] else None
+                bias = _array(f"b/{i}") if entry["has_weight"] else None
                 if weight is not None:
                     weights.extend((weight, bias))
                 layers.append(LayerSpec(

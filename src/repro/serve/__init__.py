@@ -16,8 +16,12 @@ sparse TTFS inference path runs forever after — lives here:
   suggestions covering names *and* aliases;
 * :mod:`batching` — :class:`MicroBatcher`, coalescing concurrent
   single-image requests into batched simulator dispatches;
+* :mod:`pool`     — :class:`WorkerPool`, the horizontal fleet: N
+  session *processes* per model over one mmap'd bundle copy, each
+  behind its own batcher;
 * :mod:`server` / :mod:`client` — the stdlib-only JSON prediction
-  server behind ``repro serve`` and the ``repro predict`` client.
+  server behind ``repro serve`` (with bounded-admission load shedding
+  and zero-downtime alias hot-reload) and the ``repro predict`` client.
 
 See ``docs/serve.md`` for the bundle format, registry layout and wire
 protocol.
@@ -31,10 +35,16 @@ from .artifact import (
     ModelArtifact,
     file_digest,
 )
-from .batching import MicroBatcher
+from .batching import BatcherClosed, MicroBatcher
 from .client import ServerError, predict_remote, server_health, server_models
+from .pool import SessionSpec, WorkerPool, WorkerPoolError
 from .registry import ALIAS_FILE, DEFAULT_ALIAS, ModelRegistry
-from .server import PROTOCOL_VERSION, PredictionServer
+from .server import (
+    DEFAULT_MAX_QUEUE,
+    PROTOCOL_VERSION,
+    PredictionServer,
+    ServerOverloaded,
+)
 from .session import InferenceSession, Prediction
 
 __all__ = [
@@ -44,16 +54,22 @@ __all__ = [
     "ArtifactError",
     "ModelArtifact",
     "file_digest",
+    "BatcherClosed",
     "MicroBatcher",
     "ServerError",
     "predict_remote",
     "server_health",
     "server_models",
+    "SessionSpec",
+    "WorkerPool",
+    "WorkerPoolError",
     "ALIAS_FILE",
     "DEFAULT_ALIAS",
     "ModelRegistry",
+    "DEFAULT_MAX_QUEUE",
     "PROTOCOL_VERSION",
     "PredictionServer",
+    "ServerOverloaded",
     "InferenceSession",
     "Prediction",
 ]

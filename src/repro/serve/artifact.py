@@ -72,9 +72,11 @@ class ModelArtifact:
     ``.snn`` access so registry listings stay cheap.
     """
 
-    def __init__(self, path: Path, manifest: Dict[str, Any]):
+    def __init__(self, path: Path, manifest: Dict[str, Any],
+                 mmap_mode: Optional[str] = None):
         self.path = Path(path)
         self.manifest = manifest
+        self.mmap_mode = mmap_mode
         self._snn = None
         self._plans = None
 
@@ -110,12 +112,18 @@ class ModelArtifact:
 
     @property
     def snn(self):
-        """The converted SNN, loaded once and memoised."""
+        """The converted SNN, loaded once and memoised.
+
+        With ``mmap_mode="r"`` (see :meth:`load`) the weight arrays are
+        read-only maps of the bundle file, so every process serving the
+        same bundle shares one page-cache copy of the weights.
+        """
         if self._snn is None:
             from ..nn.serialization import SerializationError, load_converted
 
             try:
-                self._snn = load_converted(self.path / SNN_FILE)
+                self._snn = load_converted(self.path / SNN_FILE,
+                                           mmap_mode=self.mmap_mode)
             except SerializationError as exc:
                 raise ArtifactError(
                     f"artifact at {self.path}: {exc}") from None
@@ -190,7 +198,9 @@ class ModelArtifact:
                 "pass overwrite=True to replace it")
         scheme = resolve_scheme_name(scheme)
         path.mkdir(parents=True, exist_ok=True)
-        save_converted(snn, path / SNN_FILE)
+        # uncompressed: the weights stay memory-mappable, so a worker
+        # fleet shares one resident copy (load with mmap_mode="r")
+        save_converted(snn, path / SNN_FILE, compress=False)
         files = {SNN_FILE: file_digest(path / SNN_FILE)}
         if model is not None:
             save_model(model, path / MODEL_FILE, artifact=name)
@@ -277,8 +287,16 @@ class ModelArtifact:
         return cls(*cls._read_manifest(path))
 
     @classmethod
-    def load(cls, path: PathLike) -> "ModelArtifact":
-        """Open a bundle, verifying schema version and file digests."""
+    def load(cls, path: PathLike,
+             mmap_mode: Optional[str] = None) -> "ModelArtifact":
+        """Open a bundle, verifying schema version and file digests.
+
+        ``mmap_mode="r"`` makes later ``.snn`` access map the weight
+        arrays off disk instead of copying them into private memory —
+        the worker-pool serving path opens every bundle this way so N
+        processes share one copy.  Bundles whose ``snn.npz`` predates
+        the uncompressed layout silently fall back to in-memory loads.
+        """
         path, manifest = cls._read_manifest(path)
         for fname, expected in manifest["files"].items():
             fpath = path / fname
@@ -292,7 +310,7 @@ class ModelArtifact:
                     f"{fpath}: content digest mismatch — manifest says "
                     f"{expected[:12]}…, file hashes to {actual[:12]}… "
                     "(corrupted or tampered bundle)")
-        return cls(path, manifest)
+        return cls(path, manifest, mmap_mode=mmap_mode)
 
     @classmethod
     def _read_manifest(cls, path: PathLike):

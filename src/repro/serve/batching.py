@@ -9,6 +9,16 @@ dispatcher thread drains the shared queue — waiting at most
 ``max_batch`` — and runs one batched ``predict`` per coalesced group,
 then fans the per-image results back out to the waiting futures.
 
+Shutdown is race-free: ``submit`` and ``close`` serialise on one lock,
+so an item either lands in the queue *before* the stop sentinel (and is
+served during the drain) or the submit itself fails with
+:class:`BatcherClosed`.  A caller can therefore never be left holding a
+future that no dispatcher will ever resolve.
+
+``pending`` counts items submitted but not yet resolved — the admission
+layer of the prediction server reads it to pick the least-loaded worker
+and to shed load when every queue is full.
+
 stdlib only: ``queue`` + ``threading`` + ``concurrent.futures.Future``.
 """
 
@@ -24,6 +34,10 @@ import numpy as np
 
 #: A submitted item: the image and the future its caller blocks on.
 _Item = Tuple[np.ndarray, Future]
+
+
+class BatcherClosed(RuntimeError):
+    """A submit raced (or arrived after) ``close()``; retry elsewhere."""
 
 
 class MicroBatcher:
@@ -46,28 +60,76 @@ class MicroBatcher:
         self.max_wait_s = max_wait_s
         self.num_batches = 0
         self.num_items = 0
+        self._pending = 0
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
+        self._lock = threading.Lock()
         self._thread = threading.Thread(target=self._loop, daemon=True,
                                         name="repro-microbatcher")
         self._thread.start()
 
     # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Items submitted whose futures have not resolved yet."""
+        return self._pending
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def submit(self, image: np.ndarray) -> Future:
-        """Enqueue one image; returns the future of its prediction."""
-        if self._closed:
-            raise RuntimeError("MicroBatcher is closed")
+        """Enqueue one image; returns the future of its prediction.
+
+        The closed check and the enqueue happen under one lock shared
+        with :meth:`close`, so a submit can never slip its item in
+        *after* the stop sentinel: either it lands before (and will be
+        served during the shutdown drain) or it raises
+        :class:`BatcherClosed`.
+        """
         future: Future = Future()
-        self._queue.put((np.asarray(image), future))
+        item = (np.asarray(image), future)
+        with self._lock:
+            if self._closed:
+                raise BatcherClosed("MicroBatcher is closed")
+            self._pending += 1
+            self._queue.put(item)
         return future
 
     def close(self) -> None:
-        """Drain outstanding work and stop the dispatcher thread."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)            # wake + stop sentinel
+        """Serve already-queued work, then stop the dispatcher thread.
+
+        Items submitted before the close are drained through
+        ``predict_fn`` as usual (their futures resolve normally); a
+        submit racing the close either wins the lock first (and is
+        drained too) or fails cleanly with :class:`BatcherClosed`.
+        Anything unexpectedly left behind after the dispatcher exits is
+        failed with :class:`BatcherClosed` rather than abandoned.
+        """
+        with self._lock:
+            if self._closed:
+                self._thread.join()
+                return
+            self._closed = True
+            self._queue.put(None)        # wake + stop sentinel
         self._thread.join()
+        self._fail_stragglers()
+
+    def _fail_stragglers(self) -> None:
+        """Fail any item the dispatcher never reached (defensive)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is None:
+                continue
+            _, future = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    BatcherClosed("MicroBatcher closed before dispatch"))
+            with self._lock:
+                self._pending -= 1
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -108,8 +170,12 @@ class MicroBatcher:
             except Exception as exc:     # noqa: BLE001 — fan the error out
                 for _, future in pending:
                     future.set_exception(exc)
+                with self._lock:
+                    self._pending -= len(pending)
                 continue
             self.num_batches += 1
             self.num_items += len(pending)
             for i, (_, future) in enumerate(pending):
                 future.set_result((int(result.predictions[i]), result))
+            with self._lock:
+                self._pending -= len(pending)

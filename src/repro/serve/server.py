@@ -1,11 +1,26 @@
 """stdlib-only batching prediction server (``repro serve``).
 
 A :class:`PredictionServer` fronts a :class:`~repro.serve.ModelRegistry`
-with a threaded HTTP server.  Per model it keeps one long-lived
-:class:`~repro.serve.session.InferenceSession` (opened lazily on first
-request, reused forever) behind a :class:`~repro.serve.batching.
-MicroBatcher`, so concurrent requests coalesce into batched simulator
-dispatches.
+with a threaded HTTP server.  Per model it keeps one *channel* — either
+a single warm in-process :class:`~repro.serve.session.InferenceSession`
+behind a :class:`~repro.serve.batching.MicroBatcher` (``workers=0``,
+the default), or a multi-process :class:`~repro.serve.pool.WorkerPool`
+of N sessions sharing one memory-mapped copy of the bundle
+(``workers>=1``) — so concurrent requests coalesce into batched
+simulator dispatches and fan out across cores.
+
+Three fleet behaviours live at this layer:
+
+* **Backpressure** — each channel admits at most ``max_queue`` images;
+  beyond that, ``POST /predict`` sheds load with ``503`` +
+  ``Retry-After`` instead of queueing unboundedly.
+* **Hot reload** — model specs are re-resolved on every request, so
+  repointing a registry alias (``latest -> v2``) takes effect on the
+  next request with zero downtime: the new bundle's channel is opened
+  *before* the old one is retired, and retirement drains in-flight work.
+* **Symmetric teardown** — every channel close shuts the batcher(s)
+  *and* the session(s)/worker pool behind them, including the loser of
+  a cold-open race.
 
 Protocol (JSON request/response):
 
@@ -17,7 +32,9 @@ Protocol (JSON request/response):
     body ``{"model": "name[:version|alias]", "inputs": [CHW, ...]}`` →
     ``{"model": ..., "predictions": [int, ...], "metrics": {...}}``
     with per-request latency and spike/SOP counts.  Unknown models are
-    404s whose message carries the registry's closest-match suggestion.
+    404s whose message carries the registry's closest-match suggestion;
+    an admission queue at capacity is a 503 with a ``Retry-After``
+    header.
 """
 
 from __future__ import annotations
@@ -26,16 +43,29 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple, Union
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .artifact import ArtifactError
-from .batching import MicroBatcher
+from .batching import BatcherClosed, MicroBatcher
+from .pool import SessionSpec, WorkerPool, WorkerPoolError
 from .registry import ModelRegistry
 from .session import InferenceSession
 
 PROTOCOL_VERSION = 1
+
+#: Default per-channel admission bound (images queued or in flight).
+DEFAULT_MAX_QUEUE = 1024
+
+
+class ServerOverloaded(RuntimeError):
+    """The admission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: int = 1):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 def merge_layer_backends(per_batch) -> Optional[Dict[str, str]]:
@@ -56,8 +86,139 @@ def merge_layer_backends(per_batch) -> Optional[Dict[str, str]]:
     return merged
 
 
+class _Admission:
+    """Bounded in-flight counter: the load-shedding primitive.
+
+    ``acquire(n)`` admits ``n`` images or raises
+    :class:`ServerOverloaded`; every resolved future releases one slot.
+    ``limit=0`` disables the bound (explicitly unbounded).
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError("max_queue must be >= 0 (0 = unbounded)")
+        self.limit = limit
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def pending(self) -> int:
+        return self._count
+
+    def acquire(self, n: int) -> None:
+        with self._lock:
+            if self.limit and self._count + n > self.limit:
+                raise ServerOverloaded(
+                    f"admission queue full ({self._count} image(s) in "
+                    f"flight, limit {self.limit}); retry shortly")
+            self._count += n
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._count -= n
+
+
+class _ModelChannel:
+    """Everything serving one resolved bundle path.
+
+    ``workers=0``: one in-process session behind one batcher (exactly
+    the pre-fleet behaviour).  ``workers>=1``: a :class:`WorkerPool`
+    whose per-worker batchers fan dispatches across processes.  Either
+    way the channel owns an admission bound and closes *everything* it
+    opened.
+    """
+
+    def __init__(self, path: str, server: "PredictionServer"):
+        self.path = path
+        self.label = "/".join(Path(path).parts[-2:])
+        self.admission = _Admission(server.max_queue)
+        self.workers = server.workers
+        self._session: Optional[InferenceSession] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._pool: Optional[WorkerPool] = None
+        if server.workers:
+            self._pool = WorkerPool(
+                SessionSpec(path, scheme=server.scheme,
+                            backend=server.backend,
+                            max_batch=server.max_batch,
+                            warmup=server.warmup, mmap=True),
+                workers=server.workers,
+                batch_wait_s=server.batch_wait_s,
+                start_method=server.start_method)
+            self.scheme_name = self._pool.scheme_name
+            self.backend = self._pool.backend
+        else:
+            self._session = InferenceSession(
+                path, scheme=server.scheme, backend=server.backend,
+                max_batch=server.max_batch, warmup=server.warmup,
+                mmap=server.mmap)
+            self._batcher = MicroBatcher(self._session.predict,
+                                         self._session.max_batch,
+                                         max_wait_s=server.batch_wait_s)
+            self.scheme_name = self._session.scheme_name
+            self.backend = self._session.backend
+
+    # ------------------------------------------------------------------
+    def _submit_one(self, image):
+        if self._pool is not None:
+            return self._pool.submit(image)
+        return self._batcher.submit(image)
+
+    def submit_many(self, images) -> List:
+        """Admit and enqueue a whole request's images, or shed it.
+
+        Admission is all-or-nothing per request: a request that would
+        overflow the bound is rejected before any of its images queue.
+        """
+        self.admission.acquire(len(images))
+        futures: List = []
+        try:
+            for image in images:
+                future = self._submit_one(image)
+                future.add_done_callback(self._release_one)
+                futures.append(future)
+        except BaseException:
+            # images never submitted must not leak admission slots; the
+            # submitted ones release via their done-callbacks
+            self.admission.release(len(images) - len(futures))
+            raise
+        return futures
+
+    def _release_one(self, _future) -> None:
+        self.admission.release(1)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        if self._pool is not None:
+            stats = self._pool.stats()
+        else:
+            stats = dict(self._session.stats())
+            stats["workers"] = 0
+            stats["pending"] = self._batcher.pending
+        stats["bundle"] = self.label
+        stats["queued"] = self.admission.pending
+        return stats
+
+    def close(self) -> None:
+        """Drain in-flight work, then free sessions/workers (symmetric:
+        everything opened here is closed here)."""
+        if self._pool is not None:
+            self._pool.close()
+        if self._batcher is not None:
+            self._batcher.close()
+        if self._session is not None:
+            self._session.close()
+
+
 class PredictionServer:
-    """Serve every model in a registry over HTTP, micro-batched."""
+    """Serve every model in a registry over HTTP, micro-batched.
+
+    ``workers=0`` (default) keeps the single-process behaviour: one warm
+    in-process session per model version.  ``workers=N`` runs each model
+    as a fleet of N session processes over one mmap'd bundle copy.
+    ``max_queue`` bounds each model's admission queue (images), shedding
+    the excess as HTTP 503; ``0`` disables the bound.
+    """
 
     def __init__(self, registry: Union[ModelRegistry, str],
                  host: str = "127.0.0.1", port: int = 0,
@@ -65,7 +226,11 @@ class PredictionServer:
                  backend: Optional[str] = None,
                  max_batch: Optional[int] = None,
                  batch_wait_s: float = 0.005,
-                 warmup: bool = True):
+                 warmup: bool = True,
+                 workers: int = 0,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 mmap: bool = False,
+                 start_method: Optional[str] = None):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry, create=False)
         # validate overrides now (with suggestions), not on first request
@@ -77,6 +242,10 @@ class PredictionServer:
             from ..engine.executor import validate_backend
 
             backend = validate_backend(backend)
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (0 = unbounded)")
         self.registry = registry
         self.host = host
         self.port = port                  # 0 = ephemeral; set by start()
@@ -85,8 +254,14 @@ class PredictionServer:
         self.max_batch = max_batch
         self.batch_wait_s = batch_wait_s
         self.warmup = warmup
+        self.workers = workers
+        self.max_queue = max_queue
+        self.mmap = mmap or bool(workers)
+        self.start_method = start_method
         self.num_requests = 0
-        self._sessions: Dict[str, Tuple[InferenceSession, MicroBatcher]] = {}
+        self.num_shed = 0
+        self._channels: Dict[str, _ModelChannel] = {}
+        self._spec_paths: Dict[str, str] = {}
         self._lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -119,9 +294,10 @@ class PredictionServer:
             self._httpd.server_close()
             self._httpd = None
         with self._lock:
-            sessions, self._sessions = self._sessions, {}
-        for _, batcher in sessions.values():
-            batcher.close()
+            channels, self._channels = self._channels, {}
+            self._spec_paths = {}
+        for channel in channels.values():
+            channel.close()
 
     def __enter__(self) -> "PredictionServer":
         return self.start()
@@ -133,45 +309,68 @@ class PredictionServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    # -- sessions ------------------------------------------------------
-    def session_for(self, spec: str) -> Tuple[InferenceSession, MicroBatcher]:
-        """The (session, batcher) pair behind a model spec, created once.
+    # -- channels ------------------------------------------------------
+    def channel_for(self, spec: str) -> _ModelChannel:
+        """The channel behind a model spec, created once per bundle path.
 
-        Resolution happens on every call (so a new ``latest`` is picked
-        up for *new* keys), but the session is keyed by the resolved
-        bundle path: two specs naming the same version share one warm
-        session.
+        Resolution happens on every call, so a repointed alias is picked
+        up immediately: the first request after a repoint cold-opens the
+        new version's channel (the old one keeps serving until then —
+        zero downtime), after which the old channel is *retired* — its
+        in-flight work drains, its sessions close — once no served spec
+        resolves to it anymore.  Two specs naming the same version share
+        one warm channel.
         """
         path = str(self.registry.resolve(spec))
         with self._lock:
-            pair = self._sessions.get(path)
-        if pair is not None:
-            return pair
-        # the cold open (deserialisation + warmup) happens outside the
-        # lock so requests for already-warm models never stall behind it
-        session = InferenceSession(
-            path, scheme=self.scheme, backend=self.backend,
-            max_batch=self.max_batch, warmup=self.warmup)
-        batcher = MicroBatcher(session.predict, session.max_batch,
-                               max_wait_s=self.batch_wait_s)
+            channel = self._channels.get(path)
+        if channel is None:
+            # the cold open (deserialisation + warmup, or worker spawn)
+            # happens outside the lock so requests for already-warm
+            # models never stall behind it
+            channel = _ModelChannel(path, self)
+            with self._lock:
+                existing = self._channels.get(path)
+                if existing is not None:  # another request won the race
+                    loser, channel = channel, existing
+                else:
+                    loser = None
+                    self._channels[path] = channel
+            if loser is not None:
+                # the losing session/pool would otherwise leak its
+                # warmup work and weight maps for the server's lifetime
+                loser.close()
+        retired = None
         with self._lock:
-            existing = self._sessions.get(path)
-            if existing is not None:      # another request won the race
-                pair = existing
-            else:
-                pair = self._sessions[path] = (session, batcher)
-        if pair[1] is not batcher:
-            batcher.close()
-        return pair
+            previous = self._spec_paths.get(spec)
+            self._spec_paths[spec] = path
+            if (previous is not None and previous != path
+                    and previous not in self._spec_paths.values()):
+                retired = self._channels.pop(previous, None)
+        if retired is not None:
+            retired.close()      # drains in-flight, then frees the bundle
+        return channel
+
+    def _record_request(self) -> None:
+        """Count one served request (handler threads race; lock it)."""
+        with self._lock:
+            self.num_requests += 1
+
+    def _record_shed(self) -> None:
+        with self._lock:
+            self.num_shed += 1
 
     # -- request handling (transport-free, unit-testable) --------------
     def handle_health(self) -> Tuple[int, Dict[str, Any]]:
         with self._lock:
-            stats = {path: session.stats()
-                     for path, (session, _) in self._sessions.items()}
+            stats = {path: channel.stats()
+                     for path, channel in self._channels.items()}
         return 200, {"status": "ok", "protocol_version": PROTOCOL_VERSION,
                      "models": self.registry.names(),
                      "num_requests": self.num_requests,
+                     "num_shed": self.num_shed,
+                     "workers": self.workers,
+                     "max_queue": self.max_queue,
                      "sessions": stats}
 
     def handle_models(self) -> Tuple[int, Dict[str, Any]]:
@@ -200,23 +399,41 @@ class PredictionServer:
             return 400, {"error": "inputs must be one CHW image or a "
                                   f"non-empty NCHW batch, got shape "
                                   f"{inputs.shape}"}
-        try:
-            session, batcher = self.session_for(spec)
-        except ArtifactError as exc:
-            return 404, {"error": str(exc)}
-        except (KeyError, ValueError) as exc:
-            # e.g. a bad per-session override; KeyError str() re-quotes
-            message = exc.args[0] if isinstance(exc, KeyError) else exc
-            return 400, {"error": f"cannot open a session for "
-                                  f"{spec!r}: {message}"}
         t0 = time.perf_counter()
-        futures = [batcher.submit(image) for image in inputs]
+        # a submit can race a hot-reload retiring its channel; the
+        # retry re-resolves and lands on the replacement, so a deploy
+        # never surfaces as a failed request
+        for attempt in (0, 1):
+            try:
+                channel = self.channel_for(spec)
+            except ArtifactError as exc:
+                return 404, {"error": str(exc)}
+            except WorkerPoolError as exc:
+                return 500, {"error": str(exc)}
+            except (KeyError, ValueError) as exc:
+                # e.g. a bad per-session override; KeyError str()
+                # re-quotes
+                message = exc.args[0] if isinstance(exc, KeyError) else exc
+                return 400, {"error": f"cannot open a session for "
+                                      f"{spec!r}: {message}"}
+            try:
+                futures = channel.submit_many(inputs)
+                break
+            except ServerOverloaded as exc:
+                self._record_shed()
+                return 503, {"error": str(exc),
+                             "retry_after_s": exc.retry_after_s}
+            except BatcherClosed:
+                if attempt:
+                    return 503, {"error": "model channel is restarting; "
+                                          "retry shortly",
+                                 "retry_after_s": 1}
         try:
             outcomes = [future.result(timeout=600) for future in futures]
         except Exception as exc:  # noqa: BLE001 — report, don't crash
             return 500, {"error": f"prediction failed: {exc}"}
         latency = time.perf_counter() - t0
-        self.num_requests += 1
+        self._record_request()
         predictions = [class_id for class_id, _ in outcomes]
         # one entry per distinct dispatched micro-batch this request
         # rode in (identity-keyed: each dispatch builds one Prediction)
@@ -231,8 +448,10 @@ class PredictionServer:
             "num_inputs": len(inputs),
             "num_batches": len(batches),
             "batch_sizes": [b.batch_size for b in batches],
-            "scheme": session.scheme_name,
-            "backend": session.backend,
+            "scheme": channel.scheme_name,
+            "backend": channel.backend,
+            "bundle": channel.label,
+            "workers": channel.workers,
             "total_spikes": (None if any(s is None for s in spikes)
                              else int(sum(spikes))),
             "total_sops": (None if any(s is None for s in sops)
@@ -254,6 +473,9 @@ def _make_handler(server: PredictionServer):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if status == 503 and "retry_after_s" in payload:
+                self.send_header("Retry-After",
+                                 str(payload["retry_after_s"]))
             self.end_headers()
             self.wfile.write(body)
 

@@ -82,10 +82,14 @@ class InferenceSession:
 
     def __init__(self, artifact, scheme: Optional[str] = None,
                  backend: Optional[str] = None,
-                 max_batch: Optional[int] = None, warmup: bool = True):
+                 max_batch: Optional[int] = None, warmup: bool = True,
+                 mmap: bool = False):
         if not isinstance(artifact, ModelArtifact):
-            artifact = ModelArtifact.load(artifact)
+            artifact = ModelArtifact.load(artifact,
+                                          mmap_mode="r" if mmap else None)
         self.artifact = artifact
+        self.mmap = artifact.mmap_mode == "r"
+        self.closed = False
         self.scheme_name = resolve_scheme_name(scheme or artifact.scheme)
         self.backend = validate_backend(backend or artifact.backend)
         self.max_batch = int(max_batch if max_batch is not None
@@ -148,8 +152,26 @@ class InferenceSession:
         return arr
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the runner, scheme and (mapped) weights.
+
+        A session that lost a cold-open race — or was retired by a
+        hot-reload — must be closed so its warmup work, plans and weight
+        maps are actually dropped instead of leaking for the server's
+        lifetime.  Idempotent; ``predict`` after close raises.
+        """
+        self.closed = True
+        self._runner = None
+        self._scheme = None
+        self.snn = None
+        self.artifact = None
+
     def predict(self, batch) -> Prediction:
         """Classify an NCHW batch (or one CHW image) in one dispatch."""
+        if self.closed:
+            raise RuntimeError(
+                "InferenceSession is closed (retired or torn down); open "
+                "a fresh session for this bundle")
         arr = self._as_batch(batch)
         t0 = time.perf_counter()
         result = self._runner.run(arr)
@@ -202,6 +224,7 @@ class InferenceSession:
             "scheme": self.scheme_name,
             "backend": self.backend,
             "max_batch": self.max_batch,
+            "mmap": self.mmap,
             "num_dispatches": self.num_dispatches,
             "num_images": self.num_images,
         }

@@ -181,3 +181,56 @@ class TestConvertedFormatVersioning:
         np.savez_compressed(path, other=np.zeros(3))
         with pytest.raises(SerializationError, match="no __header__"):
             load_converted(path)
+
+
+class TestConvertedMmap:
+    def test_uncompressed_bundle_maps_weights(self, tmp_path,
+                                              converted_micro):
+        """``compress=False`` + ``mmap_mode="r"`` serves memmapped
+        weights that are bitwise-equal to an in-memory load."""
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path, compress=False)
+        plain = load_converted(path)
+        mapped = load_converted(path, mmap_mode="r")
+        saw_weight = False
+        for p, m in zip(plain.layers, mapped.layers):
+            if p.weight is None:
+                assert m.weight is None
+                continue
+            saw_weight = True
+            assert isinstance(m.weight, np.memmap)
+            assert isinstance(m.bias, np.memmap)
+            np.testing.assert_array_equal(np.asarray(m.weight), p.weight)
+            np.testing.assert_array_equal(np.asarray(m.bias), p.bias)
+        assert saw_weight
+
+    def test_compressed_bundle_falls_back_in_memory(self, tmp_path,
+                                                    converted_micro):
+        """Deflated members can't be mapped; the load silently copies
+        (so old bundles keep working) and stays bitwise-correct."""
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path)        # compress=True
+        mapped = load_converted(path, mmap_mode="r")
+        for p, m in zip(converted_micro.layers, mapped.layers):
+            if p.weight is None:
+                continue
+            assert not isinstance(m.weight, np.memmap)
+            np.testing.assert_array_equal(m.weight, p.weight)
+
+    def test_writable_maps_rejected(self, tmp_path, converted_micro):
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path, compress=False)
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_converted(path, mmap_mode="r+")
+
+    def test_mmap_members_match_np_load(self, tmp_path, converted_micro):
+        from repro.nn.serialization import mmap_npz_members
+
+        path = tmp_path / "snn.npz"
+        save_converted(converted_micro, path, compress=False)
+        members = mmap_npz_members(path)
+        assert any(name.startswith("w/") for name in members)
+        with np.load(path, allow_pickle=False) as data:
+            for name, mapped in members.items():
+                np.testing.assert_array_equal(np.asarray(mapped),
+                                              data[name])

@@ -227,3 +227,36 @@ class TestPlans:
         (artifact.path / "plans.npz").write_bytes(b"garbage")
         with pytest.raises(ArtifactError, match="not a readable plan"):
             peeked.plans
+
+
+class TestMmapLoading:
+    def test_two_mmap_loads_share_one_backing_file(self, micro_bundle,
+                                                   tiny_dataset):
+        """N fleet workers opening the bundle map the *same* file: one
+        resident copy of the weights, not N private loads."""
+        import os
+        from pathlib import Path
+
+        first = ModelArtifact.load(micro_bundle.path, mmap_mode="r")
+        second = ModelArtifact.load(micro_bundle.path, mmap_mode="r")
+        mapped_first = [spec.weight for spec in first.snn.layers
+                        if spec.weight is not None]
+        mapped_second = [spec.weight for spec in second.snn.layers
+                         if spec.weight is not None]
+        assert mapped_first
+        assert all(isinstance(w, np.memmap)
+                   for w in mapped_first + mapped_second)
+        backing = {os.fspath(w.filename)
+                   for w in mapped_first + mapped_second}
+        assert len(backing) == 1
+        assert Path(backing.pop()).resolve().parent == \
+            Path(micro_bundle.path).resolve()
+
+    def test_mmap_load_is_bitwise_identical(self, micro_bundle):
+        plain = ModelArtifact.load(micro_bundle.path)
+        mapped = ModelArtifact.load(micro_bundle.path, mmap_mode="r")
+        for p, m in zip(plain.snn.layers, mapped.snn.layers):
+            if p.weight is None:
+                continue
+            np.testing.assert_array_equal(np.asarray(m.weight), p.weight)
+            np.testing.assert_array_equal(np.asarray(m.bias), p.bias)

@@ -1,0 +1,113 @@
+"""WorkerPool fleet: N-process parity, batching, lifecycle, server use."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ArtifactError,
+    InferenceSession,
+    PredictionServer,
+    SessionSpec,
+    WorkerPool,
+    WorkerPoolError,
+    predict_remote,
+    server_health,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet(micro_registry):
+    """A 2-worker pool over the registry's micro bundle (module-shared:
+    process spawn is the expensive part)."""
+    spec = SessionSpec(str(micro_registry.resolve("micro")), warmup=False)
+    with WorkerPool(spec, workers=2, batch_wait_s=0.01) as pool:
+        yield pool
+
+
+class TestWorkerPoolParity:
+    def test_pool_predict_bitwise_equals_single_session(
+            self, fleet, micro_bundle, tiny_dataset):
+        """The whole point: N processes, same bits as one session."""
+        x = tiny_dataset.test_x[:16]
+        single = InferenceSession(micro_bundle, warmup=False).predict(x)
+        pooled = fleet.predict(x)
+        np.testing.assert_array_equal(single.predictions,
+                                      pooled.predictions)
+        assert single.total_spikes == pooled.total_spikes
+        assert single.total_sops == pooled.total_sops
+
+    def test_submit_path_matches_batched_predict(self, fleet,
+                                                 micro_bundle,
+                                                 tiny_dataset):
+        x = tiny_dataset.test_x[:12]
+        expected = InferenceSession(micro_bundle,
+                                    warmup=False).predict(x).predictions
+        futures = [fleet.submit(image) for image in x]
+        got = [future.result(timeout=120)[0] for future in futures]
+        assert got == [int(p) for p in expected]
+
+    def test_workers_share_one_mmapped_bundle(self, fleet):
+        """The spec defaults to mmap: sessions map, not copy, weights."""
+        assert fleet.spec.mmap
+        stats = fleet.stats()
+        assert stats["mmap"] is True
+        assert stats["workers"] == 2
+
+
+class TestWorkerPoolLifecycle:
+    def test_metadata_resolved_in_parent(self, micro_registry):
+        spec = SessionSpec(str(micro_registry.resolve("micro")),
+                           scheme="ttfs", warmup=False)
+        # the scheme alias canonicalises in the parent, before any spawn
+        with WorkerPool(spec, workers=1, batch_wait_s=0.0) as pool:
+            assert pool.scheme_name == "ttfs-closed-form"
+            assert pool.backend == "dense"
+            assert pool.max_batch == 8
+
+    def test_bad_bundle_fails_fast_without_spawning(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no such artifact"):
+            WorkerPool(SessionSpec(str(tmp_path / "missing")), workers=2)
+
+    def test_bad_override_fails_fast(self, micro_registry):
+        spec = SessionSpec(str(micro_registry.resolve("micro")),
+                           backend="evnt")
+        with pytest.raises(ValueError, match="did you mean 'event'"):
+            WorkerPool(spec, workers=1)
+
+    def test_closed_pool_rejects_dispatch(self, micro_registry,
+                                          tiny_dataset):
+        spec = SessionSpec(str(micro_registry.resolve("micro")),
+                           warmup=False)
+        pool = WorkerPool(spec, workers=1, batch_wait_s=0.0)
+        pool.close()
+        pool.close()                      # idempotent
+        with pytest.raises(WorkerPoolError, match="closed"):
+            pool.predict(tiny_dataset.test_x[:1])
+
+
+class TestServerFleet:
+    @pytest.fixture(scope="class")
+    def fleet_server(self, micro_registry):
+        with PredictionServer(micro_registry, port=0, workers=2,
+                              batch_wait_s=0.01, warmup=False) as srv:
+            yield srv
+
+    def test_served_fleet_matches_single_session(self, fleet_server,
+                                                 micro_bundle,
+                                                 tiny_dataset):
+        x = tiny_dataset.test_x[:10]
+        expected = InferenceSession(micro_bundle,
+                                    warmup=False).predict(x).predictions
+        response = predict_remote(fleet_server.url, "micro:latest", x)
+        assert response["predictions"] == [int(p) for p in expected]
+        assert response["metrics"]["workers"] == 2
+        assert response["metrics"]["bundle"] == "micro/v1"
+
+    def test_healthz_reports_fleet_shape(self, fleet_server):
+        health = server_health(fleet_server.url)
+        assert health["workers"] == 2
+        assert health["max_queue"] > 0
+        (stats,) = health["sessions"].values()
+        assert stats["workers"] == 2
+        assert stats["mmap"] is True
+        assert stats["queued"] == 0

@@ -1,5 +1,7 @@
-"""MicroBatcher + PredictionServer: coalescing, protocol, parity."""
+"""MicroBatcher + PredictionServer: coalescing, protocol, parity,
+shutdown races, load shedding and hot-reload."""
 
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -8,8 +10,10 @@ import numpy as np
 import pytest
 
 from repro.serve import (
+    BatcherClosed,
     InferenceSession,
     MicroBatcher,
+    ModelRegistry,
     PredictionServer,
     ServerError,
     predict_remote,
@@ -73,8 +77,79 @@ class TestMicroBatcher:
     def test_submit_after_close_rejected(self):
         batcher = MicroBatcher(lambda b: _FakeResult(b), max_batch=2)
         batcher.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(BatcherClosed, match="closed"):
             batcher.submit(np.zeros((1, 1)))
+
+    def test_close_drains_already_queued_items(self):
+        """Items accepted before close() resolve normally, never hang."""
+        def slow_predict(batch):
+            time.sleep(0.02)
+            return _FakeResult(batch)
+
+        batcher = MicroBatcher(slow_predict, max_batch=2, max_wait_s=0.0)
+        futures = [batcher.submit(np.zeros((1, 1))) for _ in range(6)]
+        batcher.close()
+        for future in futures:
+            class_id, _ = future.result(timeout=10)   # served, not lost
+            assert isinstance(class_id, int)
+        assert batcher.num_items == 6
+        assert batcher.pending == 0
+
+    def test_submit_close_race_never_strands_a_future(self):
+        """A submit racing close() either resolves or fails loudly.
+
+        The pre-fix failure mode: the submit passes the closed check,
+        close() enqueues the stop sentinel, the item lands *after* it,
+        the dispatcher exits, and the caller hangs on its future for
+        the full request timeout.  Hammer the interleaving and require
+        every future to settle within a bounded wait.
+        """
+        for _ in range(30):
+            batcher = MicroBatcher(lambda b: _FakeResult(b), max_batch=4,
+                                   max_wait_s=0.0)
+            futures, errors = [], []
+            start = threading.Barrier(3)
+
+            def submitter():
+                start.wait()
+                for _ in range(20):
+                    try:
+                        futures.append(
+                            batcher.submit(np.zeros((1, 1))))
+                    except BatcherClosed:
+                        errors.append("closed")
+                        return
+
+            threads = [threading.Thread(target=submitter)
+                       for _ in range(2)]
+            for t in threads:
+                t.start()
+            start.wait()
+            batcher.close()
+            for t in threads:
+                t.join(timeout=10)
+                assert not t.is_alive()
+            for future in futures:
+                try:
+                    class_id, _ = future.result(timeout=5)  # must settle
+                    assert isinstance(class_id, int)
+                except BatcherClosed:
+                    pass                  # failed loudly: acceptable
+
+    def test_pending_counts_unresolved_items(self):
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=10)
+            return _FakeResult(batch)
+
+        with MicroBatcher(gated, max_batch=8, max_wait_s=0.0) as batcher:
+            futures = [batcher.submit(np.zeros((1, 1))) for _ in range(3)]
+            assert batcher.pending == 3
+            release.set()
+            for future in futures:
+                future.result(timeout=10)
+            assert batcher.pending == 0
 
 
 @pytest.fixture(scope="module")
@@ -143,6 +218,195 @@ class TestPredictionServer:
     def test_unreachable_server_message(self):
         with pytest.raises(ServerError, match="cannot reach"):
             server_health("http://127.0.0.1:1", timeout=1)
+
+
+class TestCounterThreadSafety:
+    def test_request_and_shed_counters_are_exact(self, micro_registry):
+        """The counters increment under the server lock, so N threads
+        hammering them lose no updates (the pre-fix ``+= 1`` raced)."""
+        server = PredictionServer(micro_registry)    # never started: unit
+        threads, per_thread = 8, 250
+        start = threading.Barrier(threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                server._record_request()
+                server._record_shed()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=30)
+        assert server.num_requests == threads * per_thread
+        assert server.num_shed == threads * per_thread
+
+
+class TestLoadShedding:
+    def test_overflow_sheds_503_and_nothing_hangs(self, micro_registry,
+                                                  tiny_dataset):
+        """With ``max_queue=2`` and a gated channel, 2 of 8 concurrent
+        requests are admitted and 6 shed with 503 + retry_after_s —
+        nobody waits on an unbounded queue."""
+        server = PredictionServer(micro_registry, max_queue=2,
+                                  warmup=False, batch_wait_s=0.0)
+        try:
+            channel = server.channel_for("micro")
+            release = threading.Event()
+            real_predict = channel._batcher.predict_fn
+
+            def gated(batch):
+                release.wait(timeout=60)
+                return real_predict(batch)
+
+            channel._batcher.predict_fn = gated
+            image = tiny_dataset.test_x[:1].tolist()
+            outcomes = []
+
+            def request():
+                outcomes.append(server.handle_predict(
+                    {"model": "micro", "inputs": image}))
+
+            threads = [threading.Thread(target=request) for _ in range(8)]
+            for t in threads:
+                t.start()
+            # all 8 hit admission while the gate holds the 2 admitted
+            # images in flight; wait for the shed ones to bounce
+            deadline = time.monotonic() + 30
+            while server.num_shed < 6 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            release.set()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive()          # nothing hangs
+
+            statuses = sorted(status for status, _ in outcomes)
+            assert statuses == [200, 200, 503, 503, 503, 503, 503, 503]
+            for status, body in outcomes:
+                if status == 503:
+                    assert "admission queue full" in body["error"]
+                    assert body["retry_after_s"] >= 1
+            assert server.num_shed == 6
+            _, health = server.handle_health()
+            assert health["num_shed"] == 6
+            assert health["max_queue"] == 2
+        finally:
+            release.set()
+            server.close()
+
+    def test_shed_response_carries_retry_after_header(self, micro_registry,
+                                                      tiny_dataset):
+        import urllib.error
+        import urllib.request
+
+        with PredictionServer(micro_registry, max_queue=1, warmup=False,
+                              batch_wait_s=0.0) as server:
+            channel = server.channel_for("micro")
+            release = threading.Event()
+            real_predict = channel._batcher.predict_fn
+
+            def gated(batch):
+                release.wait(timeout=60)
+                return real_predict(batch)
+
+            channel._batcher.predict_fn = gated
+            image = tiny_dataset.test_x[:1].tolist()
+            # fill the single admission slot...
+            blocker = threading.Thread(target=server.handle_predict, args=(
+                {"model": "micro", "inputs": image},))
+            blocker.start()
+            deadline = time.monotonic() + 30
+            while (channel.admission.pending < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+            # ...then the wire-level request must shed with the header
+            body = json.dumps({"model": "micro",
+                               "inputs": image}).encode()
+            request = urllib.request.Request(
+                server.url + "/predict", data=body,
+                headers={"Content-Type": "application/json"})
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=30)
+                assert excinfo.value.code == 503
+                assert int(excinfo.value.headers["Retry-After"]) >= 1
+            finally:
+                release.set()
+                blocker.join(timeout=60)
+
+
+class TestHotReload:
+    @pytest.fixture()
+    def reload_registry(self, tmp_path, micro_bundle):
+        """A private registry (the shared one must stay at v1 only)."""
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(micro_bundle, name="micro", version="v1")
+        return registry
+
+    def test_repointed_alias_takes_effect_next_request(
+            self, reload_registry, micro_bundle, tiny_dataset):
+        server = PredictionServer(reload_registry, warmup=False,
+                                  batch_wait_s=0.0)
+        try:
+            payload = {"model": "micro",
+                       "inputs": tiny_dataset.test_x[:2].tolist()}
+            status, body = server.handle_predict(payload)
+            assert status == 200
+            assert body["metrics"]["bundle"] == "micro/v1"
+            # a deploy: publish v2; the default alias repoints to it
+            reload_registry.publish(micro_bundle, name="micro",
+                                    version="v2")
+            status, body = server.handle_predict(payload)
+            assert status == 200
+            assert body["metrics"]["bundle"] == "micro/v2"
+            # the v1 channel was retired, not leaked: /healthz shows
+            # exactly one warm channel and it is v2's
+            _, health = server.handle_health()
+            (stats,) = health["sessions"].values()
+            assert stats["bundle"] == "micro/v2"
+        finally:
+            server.close()
+
+    def test_deploy_under_load_fails_zero_requests(
+            self, reload_registry, micro_bundle, tiny_dataset):
+        """Hammer the server across a repoint: every response is a 200.
+
+        A submit racing the old channel's retirement gets
+        ``BatcherClosed`` internally; the handler's retry re-resolves
+        onto the new channel, so clients never see the deploy.
+        """
+        server = PredictionServer(reload_registry, warmup=False,
+                                  batch_wait_s=0.0)
+        try:
+            image = tiny_dataset.test_x[:1].tolist()
+            payload = {"model": "micro", "inputs": image}
+            outcomes = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    outcomes.append(server.handle_predict(payload))
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)                       # traffic on v1
+            reload_registry.publish(micro_bundle, name="micro",
+                                    version="v2")
+            time.sleep(0.5)                       # traffic across + on v2
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive()
+
+            assert outcomes
+            assert {status for status, _ in outcomes} == {200}
+            status, body = server.handle_predict(payload)
+            assert status == 200
+            assert body["metrics"]["bundle"] == "micro/v2"
+        finally:
+            server.close()
 
 
 class TestServerOverrideValidation:

@@ -136,3 +136,36 @@ class TestLayerBackends:
         np.testing.assert_array_equal(auto.predictions, dense.predictions)
         # traces record what actually ran, whatever selected it
         assert set(dense.layer_backends.values()) == {"dense"}
+
+
+class TestSessionLifecycle:
+    def test_closed_session_fails_loudly(self, micro_bundle, tiny_dataset):
+        """A retired session raises on predict instead of half-working."""
+        session = InferenceSession(micro_bundle.path, warmup=False)
+        session.predict(tiny_dataset.test_x[:1])
+        session.close()
+        assert session.closed
+        session.close()                              # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            session.predict(tiny_dataset.test_x[:1])
+
+    def test_mmap_session_maps_bundle_weights(self, micro_bundle,
+                                              tiny_dataset):
+        """``mmap=True`` serves off read-only maps of the bundle file —
+        the page cache shares them across every session/process — with
+        bitwise-identical predictions."""
+        from pathlib import Path
+
+        mapped = InferenceSession(micro_bundle.path, warmup=False,
+                                  mmap=True)
+        assert mapped.mmap and mapped.stats()["mmap"] is True
+        weights = [spec.weight for spec in mapped.snn.layers
+                   if spec.weight is not None]
+        assert weights
+        assert all(isinstance(w, np.memmap) for w in weights)
+        assert Path(weights[0].filename).resolve().parent == \
+            Path(micro_bundle.path).resolve()
+        x = tiny_dataset.test_x[:8]
+        plain = InferenceSession(micro_bundle.path, warmup=False)
+        np.testing.assert_array_equal(mapped.predict(x).predictions,
+                                      plain.predict(x).predictions)
