@@ -22,6 +22,9 @@ Usage::
     python benchmarks/compare.py --suite serve       # the fleet suite
     python benchmarks/compare.py --warn-only         # CI: report only
     python benchmarks/compare.py --tolerance 0.4
+    python benchmarks/compare.py --warn-only --fail-on-regress 60
+                                  # CI: warn at the tolerance, but still
+                                  # gate hard on >=60% regressions
 
 Only regressions count — a fresh run that is *faster* than baseline
 never fails.  Lower-is-better metrics (``auto_vs_best``) regress when
@@ -145,7 +148,15 @@ def main(argv=None) -> int:
                              "(default: 0.25 — bench hosts are noisy)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (CI mode)")
+    parser.add_argument("--fail-on-regress", type=float, default=None,
+                        metavar="PCT",
+                        help="hard gate: exit 1 when any metric regresses "
+                             "by PCT percent or more, even under "
+                             "--warn-only (warnings keep using "
+                             "--tolerance)")
     args = parser.parse_args(argv)
+    if args.fail_on_regress is not None and args.fail_on_regress <= 0:
+        parser.error("--fail-on-regress must be a positive percentage")
 
     suite = SUITES[args.suite]
     baseline_path = args.baseline or suite["baseline"]
@@ -160,6 +171,14 @@ def main(argv=None) -> int:
               f"{baseline_path.name} (tolerance {args.tolerance:.0%}):")
         for p in problems:
             print(f"  - {p}")
+        if args.fail_on_regress is not None:
+            gated = compare(baseline, fresh, suite,
+                            args.fail_on_regress / 100.0)
+            if gated:
+                print(f"compare.py: {len(gated)} exceed the "
+                      f"--fail-on-regress {args.fail_on_regress:g}% gate "
+                      "— failing")
+                return 1
         return 0 if args.warn_only else 1
     print(f"compare.py: all {n} {args.suite} ratio checks within "
           f"{args.tolerance:.0%} of {baseline_path.name}")

@@ -14,15 +14,19 @@ api      : declarative experiment pipelines (config -> stages -> report)
 snn      : event-driven TTFS simulator + T2FSNN baseline
 quant    : logarithmic weight quantisation + LUT/shift arithmetic
 serve    : versioned model artifacts + registry + prediction server
+targets  : compile artifacts into self-contained execution targets
 hw       : SNN processor model (SpinalFlow-derived) + Table 4 baselines
 analysis : metrics, reporting, paper reference constants
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, api, cat, data, engine, hw, nn, optim, quant, serve, snn, tensor
+from . import (analysis, api, cat, data, engine, hw, nn, optim, quant,
+               serve, snn, targets, tensor)
+from .errors import ReproError
 
 __all__ = [
+    "ReproError",
     "analysis",
     "api",
     "cat",
@@ -34,6 +38,7 @@ __all__ = [
     "quant",
     "serve",
     "snn",
+    "targets",
     "tensor",
     "__version__",
 ]

@@ -107,6 +107,27 @@ def artifact_simulate_config(artifact_path, dataset: str = "mini-cifar10",
         artifact=ArtifactConfig(path=str(artifact_path)))
 
 
+def artifact_export_defaults(artifact_path, scheme: str = "") -> dict:
+    """``repro export``: resolved parameters for exporting a bundle.
+
+    A manifest-only peek (no weight load): the coding scheme the export
+    will compile — the bundle's recorded scheme unless overridden — plus
+    the settings every target backend records alongside it (see
+    :mod:`repro.targets`).
+    """
+    from ..engine import resolve_scheme_name
+    from ..serve import ModelArtifact
+
+    artifact = ModelArtifact.peek(artifact_path)
+    return {
+        "name": artifact.name,
+        "scheme": resolve_scheme_name(scheme or artifact.scheme),
+        "backend": artifact.backend,
+        "max_batch": artifact.max_batch,
+        "input_shape": artifact.input_shape,
+    }
+
+
 def fig2_config(window: int = 24, tau: float = 4.0) -> ExperimentConfig:
     """``repro fig2``: the activation-error curves, as a pipeline."""
     return ExperimentConfig(name="fig2", stages=("fig2",),

@@ -21,7 +21,10 @@ Fast, self-contained entry points into the reproduction:
 * ``serve``  — stdlib prediction server over a model registry (JSON,
   micro-batched, one warm session per model);
 * ``predict``— client for ``serve``: send dataset images, print (and
-  optionally save) the predictions and the per-request cost metrics.
+  optionally save) the predictions and the per-request cost metrics;
+* ``export`` — compile an artifact bundle into a self-contained target
+  description (``engine`` | ``pynn-netlist`` | ``tile-config``), verify
+  it loads back, and optionally execute it over a dataset.
 
 Every subcommand is a thin wrapper: it builds an
 :class:`repro.api.ExperimentConfig` (see :mod:`repro.api.presets`) and
@@ -48,11 +51,12 @@ from . import __version__
 def _cmd_info(args) -> int:
     from .api import available_presets, available_stages
     from .engine import available_backends, available_schemes, scheme_aliases
+    from .targets import available_targets, target_aliases
 
     print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
     print(__doc__)
     print("subsystems    : tensor, nn, optim, data, cat, events, engine, "
-          "api, snn, quant, hw, serve, analysis")
+          "api, snn, quant, hw, serve, targets, analysis")
     print("artefacts     : fig2 fig3 fig4 fig6 table1 table2 table4 "
           "(see benchmarks/)")
     aliases = ", ".join(f"{a} -> {t}"
@@ -60,6 +64,10 @@ def _cmd_info(args) -> int:
     print(f"coding schemes: {', '.join(available_schemes())}"
           + (f" (aliases: {aliases})" if aliases else ""))
     print(f"backends      : {', '.join(available_backends())}")
+    t_aliases = ", ".join(f"{a} -> {t}"
+                          for a, t in sorted(target_aliases().items()))
+    print(f"export targets: {', '.join(available_targets())}"
+          + (f" (aliases: {t_aliases})" if t_aliases else ""))
     print(f"pipeline stages: {', '.join(available_stages())}")
     print(f"run presets   : {', '.join(available_presets())}")
     return 0
@@ -581,6 +589,72 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    import json
+    import pathlib
+
+    from .serve import ArtifactError, ModelArtifact
+    from .targets import (TARGET_FORMAT_VERSION, TargetError,
+                          describe_targets, export_artifact, load_target,
+                          resolve_target_name, target_aliases)
+
+    if args.list_targets:
+        aliases = target_aliases()
+        for row in describe_targets():
+            names = [row["name"]] + sorted(
+                a for a, t in aliases.items() if t == row["name"])
+            print(f"{'/'.join(names):<32s} {row['description']}")
+        return 0
+    missing = [flag for flag, value in (("--artifact", args.artifact),
+                                        ("--target", args.target),
+                                        ("--out", args.out)) if not value]
+    if missing:
+        print(f"repro export: error: {', '.join(missing)} required "
+              "(or use --list-targets)", file=sys.stderr)
+        return 2
+    if args.limit < 0:
+        print("repro export: error: --limit must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        target = resolve_target_name(args.target)
+        artifact = ModelArtifact.load(args.artifact)
+        out = export_artifact(artifact, target, args.out,
+                              scheme=args.scheme or None, force=args.force)
+        # reloading digest-verifies the export end to end before we
+        # record it against the bundle
+        program = load_target(out)
+        artifact.record_export(target, scheme=program.scheme,
+                               format_version=TARGET_FORMAT_VERSION)
+    except (TargetError, ArtifactError, KeyError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"repro export: error: {message}", file=sys.stderr)
+        return 2
+    print(f"exported {artifact.name} -> {target} at {out}")
+    print(f"  scheme {program.scheme}, files: "
+          f"{', '.join(sorted(program.manifest['files']))}")
+    if args.predictions:
+        from .data import load
+
+        dataset = load(args.dataset)
+        x, y = dataset.test_x, dataset.test_y
+        if args.limit:
+            x, y = x[:args.limit], y[:args.limit]
+        preds = program.predict(x)
+        accuracy = float((np.asarray(preds) == y[:len(preds)]).mean())
+        path = pathlib.Path(args.predictions)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "target": target,
+            "scheme": program.scheme,
+            "num_images": int(len(preds)),
+            "accuracy": accuracy,
+            "predictions": [int(p) for p in preds],
+        }, indent=2) + "\n")
+        print(f"accuracy  : {accuracy:.3f} over {len(preds)} image(s)")
+        print(f"predictions written to {path}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser construction: one helper per subcommand
 # ----------------------------------------------------------------------
@@ -790,6 +864,35 @@ def _add_predict_parser(sub) -> None:
     p.set_defaults(fn=_cmd_predict)
 
 
+def _add_export_parser(sub) -> None:
+    p = sub.add_parser(
+        "export",
+        help="compile an artifact bundle into a self-contained target "
+             "description")
+    p.add_argument("--artifact", default=None,
+                   help="ModelArtifact bundle directory to compile")
+    p.add_argument("--target", default=None,
+                   help="target backend or alias (see --list-targets)")
+    p.add_argument("--out", default=None,
+                   help="export directory to write")
+    p.add_argument("--scheme", default=None,
+                   help="coding scheme to compile for (default: the "
+                        "artifact's recorded scheme)")
+    p.add_argument("--force", action="store_true",
+                   help="replace an existing export at --out")
+    p.add_argument("--list-targets", action="store_true",
+                   help="list registered target backends and exit")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset for --predictions")
+    p.add_argument("--limit", type=int, default=0,
+                   help="cap the number of test images (0 = all)")
+    p.add_argument("--predictions", default=None,
+                   help="execute the export on the dataset's test split "
+                        "and write per-image predictions JSON here (same "
+                        "layout as 'repro simulate --predictions')")
+    p.set_defaults(fn=_cmd_export)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
@@ -801,14 +904,24 @@ def build_parser() -> argparse.ArgumentParser:
                           _add_table4_parser, _add_latency_parser,
                           _add_train_parser, _add_simulate_parser,
                           _add_evaluate_parser, _add_build_parser,
-                          _add_serve_parser, _add_predict_parser):
+                          _add_serve_parser, _add_predict_parser,
+                          _add_export_parser):
         add_subparser(sub)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # one shared base for every subsystem's user-facing failures
+        # (artifact/server/worker-pool/target errors): clean exit, no
+        # traceback
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

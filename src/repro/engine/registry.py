@@ -16,6 +16,11 @@ Adding a new coding scheme::
 after which ``create_scheme("burst", snn)``, the CLI's ``repro simulate
 --scheme burst`` and the :class:`~repro.engine.runner.PipelineRunner`
 all pick it up.
+
+:mod:`repro.targets` follows the same pattern for *export targets*
+(backends that compile artifacts for other runtimes) — the two
+registries intentionally share their lazy-provider/alias/suggestion
+mechanics.
 """
 
 from __future__ import annotations

@@ -1,0 +1,24 @@
+"""Shared exception base for every user-facing repro failure.
+
+Subsystems raise their own exception types (artifact integrity,
+serving, target export, ...) so library callers can be precise, but all
+of them derive from :class:`ReproError` so *presentation* code — the
+CLI most of all — can catch one type and turn any expected failure
+into a clean ``repro <cmd>: error: ...`` exit instead of a traceback.
+
+``ReproError`` subclasses ``RuntimeError`` so pre-existing callers that
+caught the concrete types (all of which were ad-hoc ``RuntimeError``
+subclasses before this module existed) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(RuntimeError):
+    """Base class of every expected, user-facing repro failure.
+
+    The message is always actionable on its own: subsystem code raises
+    a concrete subclass (:class:`repro.serve.ArtifactError`,
+    :class:`repro.targets.TargetError`, ...) with the full story, and
+    the CLI prints ``str(exc)`` verbatim.
+    """

@@ -19,8 +19,8 @@ Defaults describe the implemented design point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Literal
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Literal
 
 PEStyle = Literal["linear", "log"]
 DecoderStyle = Literal["sram", "lut"]
@@ -84,6 +84,25 @@ class HwConfig:
 
     def with_(self, **overrides) -> "HwConfig":
         return replace(self, **overrides)
+
+    # -- (de)serialisation for exported target descriptions ------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain field dict, JSON-serialisable as-is."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HwConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are an error, not a silent drop — a newer export
+        read by an older checkout should fail loudly.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown HwConfig field(s): {', '.join(unknown)}")
+        return cls(**data)
 
 
 def proposed_config(**overrides) -> HwConfig:

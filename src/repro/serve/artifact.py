@@ -34,6 +34,8 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
+from ..errors import ReproError
+
 PathLike = Union[str, "os.PathLike[str]"]
 
 #: The version new bundles are written at.  v2 added the optional
@@ -53,7 +55,7 @@ PLANS_FILE = "plans.npz"
 BUILD_STAGES = ("train", "convert", "quantize")
 
 
-class ArtifactError(RuntimeError):
+class ArtifactError(ReproError):
     """A model bundle could not be built/loaded (message says why)."""
 
 
@@ -111,6 +113,11 @@ class ModelArtifact:
         return self.manifest.get("metrics", {})
 
     @property
+    def exports(self) -> Dict[str, Any]:
+        """Target exports recorded for this bundle: name → export info."""
+        return dict(self.manifest.get("exports") or {})
+
+    @property
     def snn(self):
         """The converted SNN, loaded once and memoised.
 
@@ -163,7 +170,26 @@ class ModelArtifact:
             "input_shape": list(self.input_shape or ()) or None,
             "schema_version": self.manifest["schema_version"],
             "repro_version": self.manifest.get("repro_version"),
+            "targets": sorted(self.exports) or None,
         }
+
+    def record_export(self, target: str, **info: Any) -> None:
+        """Record in the manifest that this bundle was exported.
+
+        ``repro export`` calls this after a successful
+        :meth:`repro.targets.TargetBackend.export` so registry and
+        server listings can say which target descriptions exist for a
+        bundle.  The manifest is the one bundle file that is not
+        digest-protected (it *holds* the digests), so updating it in
+        place never invalidates the bundle; the write is temp + rename
+        like :meth:`save`.
+        """
+        exports = self.exports
+        exports[str(target)] = info
+        self.manifest["exports"] = exports
+        tmp = self.path / f"{MANIFEST_NAME}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(self.manifest, indent=2) + "\n")
+        os.replace(tmp, self.path / MANIFEST_NAME)
 
     # -- writing -------------------------------------------------------
     @classmethod

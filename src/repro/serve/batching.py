@@ -32,11 +32,13 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from ..errors import ReproError
+
 #: A submitted item: the image and the future its caller blocks on.
 _Item = Tuple[np.ndarray, Future]
 
 
-class BatcherClosed(RuntimeError):
+class BatcherClosed(ReproError):
     """A submit raced (or arrived after) ``close()``; retry elsewhere."""
 
 

@@ -9,8 +9,10 @@ from typing import Any, Dict
 
 import numpy as np
 
+from ..errors import ReproError
 
-class ServerError(RuntimeError):
+
+class ServerError(ReproError):
     """The server answered with an error (message carries its text)."""
 
 
@@ -20,7 +22,7 @@ def _request(url: str, data: bytes = None, timeout: float = 60.0) -> Dict:
         headers={"Content-Type": "application/json"} if data else {})
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read())
+            body = response.read()
     except urllib.error.HTTPError as exc:
         try:
             message = json.loads(exc.read()).get("error", str(exc))
@@ -31,6 +33,11 @@ def _request(url: str, data: bytes = None, timeout: float = 60.0) -> Dict:
         raise ServerError(
             f"cannot reach prediction server at {url}: {exc.reason}"
         ) from None
+    try:
+        return json.loads(body)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ServerError(
+            f"{url}: server returned malformed JSON ({exc})") from None
 
 
 def server_health(url: str, timeout: float = 10.0) -> Dict[str, Any]:

@@ -37,13 +37,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..engine.parallel import init_worker_state, worker_ready, worker_state
+from ..errors import ReproError
 from .artifact import ModelArtifact
 from .batching import MicroBatcher
 
 PathLike = "os.PathLike[str]"
 
 
-class WorkerPoolError(RuntimeError):
+class WorkerPoolError(ReproError):
     """The fleet could not be started or has lost its workers."""
 
 

@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..errors import ReproError
 from .artifact import ArtifactError
 from .batching import BatcherClosed, MicroBatcher
 from .pool import SessionSpec, WorkerPool, WorkerPoolError
@@ -60,7 +61,7 @@ PROTOCOL_VERSION = 1
 DEFAULT_MAX_QUEUE = 1024
 
 
-class ServerOverloaded(RuntimeError):
+class ServerOverloaded(ReproError):
     """The admission queue is full; retry after ``retry_after_s``."""
 
     def __init__(self, message: str, retry_after_s: int = 1):

@@ -1,0 +1,88 @@
+"""Client error paths against a canned HTTP server (no real fleet)."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import ServerError, predict_remote, server_health
+
+#: path -> (status, body bytes) the canned server answers with.
+CANNED = {
+    "/ok/healthz": (200, json.dumps({"status": "ok"}).encode()),
+    "/garbage/healthz": (200, b"<html>not json at all</html>"),
+    "/truncated/healthz": (200, b'{"status": "ok"'),
+    "/error/healthz": (500, json.dumps(
+        {"error": "session exploded"}).encode()),
+    "/plain-error/healthz": (503, b"Service Unavailable"),
+}
+
+
+class _CannedHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        status, body = CANNED.get(self.path, (404, b"no such page"))
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_POST = do_GET
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture(scope="module")
+def canned_url():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _CannedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    thread.join()
+
+
+def test_healthy_response_decodes(canned_url):
+    assert server_health(canned_url + "/ok") == {"status": "ok"}
+
+
+def test_malformed_json_body_raises_server_error(canned_url):
+    with pytest.raises(ServerError, match="malformed JSON"):
+        server_health(canned_url + "/garbage")
+
+
+def test_truncated_json_body_raises_server_error(canned_url):
+    with pytest.raises(ServerError, match="malformed JSON"):
+        server_health(canned_url + "/truncated")
+
+
+def test_http_error_carries_server_message(canned_url):
+    with pytest.raises(ServerError, match="session exploded"):
+        server_health(canned_url + "/error")
+
+
+def test_http_error_with_non_json_body_still_clean(canned_url):
+    # the fallback is the HTTP status line, not a JSONDecodeError leak
+    with pytest.raises(ServerError, match="503"):
+        server_health(canned_url + "/plain-error")
+
+
+def test_predict_remote_propagates_http_error(canned_url):
+    with pytest.raises(ServerError, match="404"):
+        predict_remote(canned_url + "/missing", "micro", [[0.0]])
+
+
+def test_connection_refused_names_the_url():
+    with pytest.raises(ServerError, match="cannot reach"):
+        server_health("http://127.0.0.1:1", timeout=1)
+
+
+def test_server_error_is_a_repro_error():
+    # one base type for the CLI's catch-all clean-exit path
+    assert issubclass(ServerError, ReproError)
+    assert issubclass(ServerError, RuntimeError)

@@ -1,0 +1,26 @@
+"""Fixtures for the target-backend conformance suite.
+
+One artifact bundle is built per session from the shared trained micro
+model; every backend exports from (and is compared against) it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ModelArtifact
+
+
+@pytest.fixture(scope="session")
+def micro_bundle(tmp_path_factory, converted_micro):
+    """A saved ModelArtifact of the shared converted micro SNN."""
+    path = tmp_path_factory.mktemp("target-bundle") / "micro"
+    return ModelArtifact.save(path, converted_micro, name="micro",
+                              scheme="ttfs-closed-form", backend="dense",
+                              max_batch=8, input_shape=(3, 8, 8))
+
+
+@pytest.fixture(scope="session")
+def conformance_images(tiny_dataset):
+    """The batch every conformance comparison runs on (2 chunks of 8)."""
+    return tiny_dataset.test_x[:12]

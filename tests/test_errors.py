@@ -1,0 +1,35 @@
+"""The shared error hierarchy: one base the CLI can catch."""
+
+import pytest
+
+from repro import ReproError
+from repro.serve import ArtifactError, ServerError
+from repro.serve.batching import BatcherClosed
+from repro.serve.pool import WorkerPoolError
+from repro.serve.server import ServerOverloaded
+from repro.targets import TargetError
+
+
+@pytest.mark.parametrize("exc_type", [
+    ArtifactError, BatcherClosed, ServerError, ServerOverloaded,
+    TargetError, WorkerPoolError,
+])
+def test_user_facing_errors_share_the_base(exc_type):
+    assert issubclass(exc_type, ReproError)
+    # ReproError subclasses RuntimeError so pre-existing callers that
+    # caught RuntimeError keep working
+    assert issubclass(exc_type, RuntimeError)
+
+
+def test_cli_catches_repro_error_cleanly(capsys, monkeypatch):
+    from repro import cli
+
+    def boom(args):
+        raise ReproError("synthetic failure")
+
+    # build_parser() resolves the module global at parse time, so the
+    # patched command is what main() dispatches to
+    monkeypatch.setattr(cli, "_cmd_info", boom)
+    assert cli.main(["info"]) == 2
+    err = capsys.readouterr().err
+    assert "repro info: error: synthetic failure" in err
