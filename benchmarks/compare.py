@@ -10,7 +10,11 @@ speed, so they transfer across hosts far better than raw milliseconds:
   ``auto_vs_best``);
 * ``serve`` — the multi-process serving fleet (``BENCH_serve.json``:
   ``rps_vs_single``, requests/sec per worker count relative to one
-  in-process session).
+  in-process session);
+* ``train`` — the streaming training data path (``BENCH_train.json``:
+  ``speedup`` per record — data-path images/sec vs the historical
+  per-image loader, pool-backward kernels vs their old formulations,
+  and peak-RSS ratio of in-memory over streamed training).
 
 This script compares those ratios record-by-record against the fresh
 ``benchmarks/results/<suite>.json`` and flags any that regressed
@@ -52,6 +56,10 @@ def _serve_key(record: dict) -> tuple:
     return (record["mode"], record["workers"])
 
 
+def _train_key(record: dict) -> tuple:
+    return (record["case"],)
+
+
 #: suite name -> how to load and diff it.  ``metrics`` maps each ratio
 #: metric to True when higher is better.
 SUITES = {
@@ -76,6 +84,16 @@ SUITES = {
             "rps_vs_single": True,
         },
         "key": _serve_key,
+    },
+    "train": {
+        "baseline": REPO_ROOT / "BENCH_train.json",
+        "fresh": RESULTS / "train.json",
+        "bench": "benchmarks/bench_train.py",
+        "schema_version": 1,
+        "metrics": {
+            "speedup": True,
+        },
+        "key": _train_key,
     },
 }
 

@@ -41,16 +41,28 @@ class ConfigError(ValueError):
 
 @dataclass(frozen=True)
 class DatasetConfig:
-    """Which named dataset (``repro.data.available()``) the pipeline uses."""
+    """Which dataset the pipeline uses.
+
+    Either a named in-memory generator (``repro.data.available()``) or,
+    when ``shards`` is set, an on-disk shard directory written by
+    ``repro shards`` / :func:`repro.data.write_shards` — the training
+    stage then streams batches shard-by-shard instead of materialising
+    the split.  ``prefetch`` is the number of batches the streaming
+    loader stages ahead on its background thread (0 = synchronous).
+    """
 
     name: str = "mini-cifar10"
+    shards: str = ""
+    prefetch: int = 2
 
     def __post_init__(self):
         from ..data import available
 
-        if self.name not in available():
+        if not self.shards and self.name not in available():
             raise ConfigError("dataset.name: " + unknown_name_message(
                 "dataset", self.name, available()))
+        if self.prefetch < 0:
+            raise ConfigError("dataset.prefetch must be >= 0")
 
 
 @dataclass(frozen=True)

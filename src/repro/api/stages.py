@@ -73,11 +73,21 @@ class PipelineContext:
     artifacts: Dict[str, Any] = field(default_factory=dict)
 
     def ensure_dataset(self):
-        """The configured dataset, loaded once and memoised."""
-        if self.dataset is None:
-            from ..data import load
+        """The configured dataset, loaded once and memoised.
 
-            self.dataset = load(self.config.dataset.name)
+        ``dataset.shards`` opens an on-disk shard directory (streamed by
+        the training stage); otherwise the named generator materialises
+        in memory.
+        """
+        if self.dataset is None:
+            if self.config.dataset.shards:
+                from ..data import open_shards
+
+                self.dataset = open_shards(self.config.dataset.shards)
+            else:
+                from ..data import load
+
+                self.dataset = load(self.config.dataset.name)
         return self.dataset
 
     def require(self, attr: str, stage: str, producer: str):
@@ -179,6 +189,12 @@ def _model_builder(arch: str):
 # config-derived one and can never replay the wrong cached results.
 
 def _dataset_digest(dataset) -> str:
+    content = getattr(dataset, "content_digest", None)
+    if content is not None:
+        # Sharded datasets already carry a manifest digest covering every
+        # shard's contents — reuse it instead of materialising the train
+        # split just to hash it.
+        return digest("dataset-sharded", content)
     return digest("dataset", dataset.name, dataset.num_classes,
                   dataset.train_x, dataset.train_y, dataset.test_x,
                   dataset.test_y)
@@ -238,14 +254,20 @@ class TrainStage(PipelineStage):
         model = _model_builder(cfg.model.arch)(
             num_classes=dataset.num_classes,
             input_size=dataset.image_shape[-1])
+        # the prefetch knob only matters for streamed shards; in-memory
+        # datasets keep the loader's synchronous default
+        prefetch = cfg.dataset.prefetch if cfg.dataset.shards else None
         result = train_cat(model, dataset, cfg.train.cat_config(
-            seed=cfg.model.seed), verbose=cfg.train.verbose)
+            seed=cfg.model.seed), verbose=cfg.train.verbose,
+            prefetch=prefetch)
         ctx.model = model
         ctx.train_history = [dataclasses.asdict(r) for r in result.history]
         ctx.metrics["train"] = {
             "epochs": len(result.history),
             "final_test_acc": result.final_test_acc,
             "best_test_acc": result.best_test_acc,
+            "images_per_s": (result.history[-1].images_per_s
+                             if result.history else 0.0),
         }
         return ctx
 
@@ -289,7 +311,9 @@ class ConvertStage(PipelineStage):
         model = ctx.require("model", self.name, "train")
         dataset = ctx.ensure_dataset()
         cfg = self.config
-        calibration = (dataset.train_x[:cfg.convert.calibration]
+        # train_head works for both in-memory and sharded datasets (the
+        # latter gathers only the head instead of the whole train split)
+        calibration = (dataset.train_head(cfg.convert.calibration)
                        if cfg.convert.calibration else None)
         snn = convert(model, cfg.train.cat_config(seed=cfg.model.seed),
                       calibration=calibration)

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..data import DataLoader, Dataset
+from ..data import Dataset, make_train_loader
 from ..nn.vgg import VGG
 from ..optim import SGD, MultiStepLR
 from ..tensor import Tensor, accuracy, cross_entropy
@@ -35,6 +35,9 @@ class EpochRecord:
     train_acc: float
     test_acc: float
     seconds: float
+    #: Training-phase throughput (train images / optimisation seconds),
+    #: excluding evaluation.  0.0 in records from older checkpoints.
+    images_per_s: float = 0.0
 
 
 @dataclass
@@ -77,21 +80,24 @@ def evaluate(model: VGG, images: np.ndarray, labels: np.ndarray,
     """Top-1 accuracy of ``model`` over an array dataset (eval mode)."""
     was_training = model.training
     model.eval()
-    correct = 0
-    for start in range(0, len(labels), batch_size):
+    n = len(labels)
+    # One preallocated prediction buffer; argmax writes straight into
+    # its batch slice, so the loop does no per-batch reductions or
+    # device->python int round-trips.
+    preds = np.empty(n, dtype=np.intp)
+    for start in range(0, n, batch_size):
         x = images[start : start + batch_size]
-        y = labels[start : start + batch_size]
         logits = model(Tensor(x))
-        correct += int((logits.data.argmax(axis=1) == y).sum())
+        np.argmax(logits.data, axis=1, out=preds[start : start + len(x)])
     model.train(was_training)
-    return correct / len(labels)
+    return float(np.mean(preds == labels))
 
 
 class CATTrainer:
     """Run conversion-aware training on a model + dataset pair."""
 
     def __init__(self, model: VGG, dataset: Dataset, config: CATConfig,
-                 verbose: bool = False):
+                 verbose: bool = False, prefetch: Optional[int] = None):
         self.model = model
         self.dataset = dataset
         self.config = config
@@ -105,13 +111,17 @@ class CATTrainer:
         self.scheduler = MultiStepLR(
             self.optimizer, milestones=config.milestones, gamma=config.lr_gamma
         )
-        self._loader = DataLoader(
-            dataset.train_x,
-            dataset.train_y,
+        # ``dataset`` may be an in-memory Dataset or a ShardedDataset;
+        # the dispatch picks slicing vs. streaming gathers (and the
+        # prefetch default) per source.  Batches are bit-identical
+        # either way for a fixed seed.
+        self._loader = make_train_loader(
+            dataset,
             batch_size=config.batch_size,
             shuffle=True,
             augment=config.augment,
             seed=config.seed,
+            prefetch=prefetch,
         )
         self._stage: Optional[str] = None
 
@@ -154,11 +164,13 @@ class CATTrainer:
         cfg = self.config
         self._install_input_encoding()
         result = TrainResult(model=self.model, config=cfg)
+        num_train = len(self._loader.labels)
         for epoch in range(cfg.epochs):
             start = time.perf_counter()
             stage = self._apply_stage(epoch)
             lr = self.scheduler.step(epoch)
             train_loss, train_acc = self.train_epoch(epoch)
+            train_seconds = time.perf_counter() - start
             test_acc = evaluate(self.model, self.dataset.test_x, self.dataset.test_y)
             record = EpochRecord(
                 epoch=epoch,
@@ -168,18 +180,22 @@ class CATTrainer:
                 train_acc=train_acc,
                 test_acc=test_acc,
                 seconds=time.perf_counter() - start,
+                images_per_s=num_train / train_seconds if train_seconds else 0.0,
             )
             result.history.append(record)
             if self.verbose:
                 print(
                     f"epoch {epoch:3d} [{stage:4s}] lr={lr:.4g} "
                     f"loss={train_loss:.4f} train={train_acc:.3f} "
-                    f"test={test_acc:.3f} ({record.seconds:.1f}s)"
+                    f"test={test_acc:.3f} ({record.seconds:.1f}s, "
+                    f"{record.images_per_s:.0f} img/s)"
                 )
         return result
 
 
 def train_cat(model: VGG, dataset: Dataset, config: CATConfig,
-              verbose: bool = False) -> TrainResult:
+              verbose: bool = False,
+              prefetch: Optional[int] = None) -> TrainResult:
     """Convenience wrapper: build a trainer and run it."""
-    return CATTrainer(model, dataset, config, verbose=verbose).run()
+    return CATTrainer(model, dataset, config, verbose=verbose,
+                      prefetch=prefetch).run()

@@ -655,6 +655,45 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_shards(args) -> int:
+    from .data import load, open_shards, write_shards
+
+    if args.info:
+        sharded = open_shards(args.info)
+        verified = sharded.verify()
+        print(sharded)
+        manifest = sharded.manifest
+        print(f"  format v{manifest['format_version']}, "
+              f"digest {sharded.content_digest[:16]}..., "
+              f"{verified} shard(s) verified")
+        for split, spec in sorted(manifest["splits"].items()):
+            print(f"  {split:5s}: {spec['num_images']} images in "
+                  f"{len(spec['shards'])} shard(s)")
+        return 0
+    if not args.out:
+        print("repro shards: error: --out DIR required when writing "
+              "(or use --info DIR)", file=sys.stderr)
+        return 2
+    try:
+        dataset = load(args.dataset)
+    except KeyError as exc:
+        print(f"repro shards: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    root = write_shards(dataset, args.out, shard_size=args.shard_size,
+                        force=args.force)
+    sharded = open_shards(root)
+    train = sharded.manifest["splits"]["train"]
+    test = sharded.manifest["splits"]["test"]
+    print(f"wrote {dataset.name} -> {root}")
+    print(f"  train: {train['num_images']} images in "
+          f"{len(train['shards'])} shard(s) of <= {args.shard_size}")
+    print(f"  test : {test['num_images']} images in "
+          f"{len(test['shards'])} shard(s)")
+    print(f"  digest {sharded.content_digest[:16]}...  (set "
+          f"dataset.shards = \"{root}\" in a config to stream it)")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser construction: one helper per subcommand
 # ----------------------------------------------------------------------
@@ -893,6 +932,24 @@ def _add_export_parser(sub) -> None:
     p.set_defaults(fn=_cmd_export)
 
 
+def _add_shards_parser(sub) -> None:
+    p = sub.add_parser(
+        "shards",
+        help="write a named dataset as a streamable shard directory")
+    p.add_argument("--dataset", default="mini-cifar10",
+                   help="named dataset (see repro.data.available())")
+    p.add_argument("--out", default="",
+                   help="shard directory to write")
+    p.add_argument("--shard-size", type=int, default=512,
+                   help="max images per shard file (default 512)")
+    p.add_argument("--force", action="store_true",
+                   help="overwrite an existing shard directory")
+    p.add_argument("--info", default="",
+                   help="describe + digest-verify an existing shard "
+                        "directory instead of writing")
+    p.set_defaults(fn=_cmd_shards)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'22 TTFS-CAT reproduction CLI")
@@ -905,7 +962,7 @@ def build_parser() -> argparse.ArgumentParser:
                           _add_train_parser, _add_simulate_parser,
                           _add_evaluate_parser, _add_build_parser,
                           _add_serve_parser, _add_predict_parser,
-                          _add_export_parser):
+                          _add_export_parser, _add_shards_parser):
         add_subparser(sub)
     return parser
 

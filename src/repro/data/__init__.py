@@ -12,12 +12,26 @@ from .datasets import (
     synthetic_cifar100,
     synthetic_tiny_imagenet,
 )
-from .loader import DataLoader
+from .loader import DataLoader, StreamingDataLoader, make_train_loader
+from .shards import (
+    SHARD_FORMAT_VERSION,
+    ShardedDataset,
+    ShardError,
+    open_shards,
+    write_shards,
+)
 from .transforms import normalize, random_crop, random_hflip
 
 __all__ = [
     "Dataset",
     "DataLoader",
+    "StreamingDataLoader",
+    "make_train_loader",
+    "SHARD_FORMAT_VERSION",
+    "ShardedDataset",
+    "ShardError",
+    "open_shards",
+    "write_shards",
     "available",
     "load",
     "make_dataset",

@@ -42,6 +42,10 @@ class Dataset:
     def image_shape(self) -> Tuple[int, int, int]:
         return tuple(self.train_x.shape[1:])
 
+    def train_head(self, n: int) -> np.ndarray:
+        """First ``n`` train images (same surface as ShardedDataset)."""
+        return self.train_x[:n]
+
     def __repr__(self) -> str:
         return (
             f"Dataset({self.name}, classes={self.num_classes}, "
@@ -68,6 +72,21 @@ def _class_prototypes(
     return (smooth / np.maximum(std, 1e-8)).astype(np.float32)
 
 
+def roll_images(images: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Circularly shift each NCHW image by its own (dy, dx).
+
+    Batched equivalent of ``np.roll(images[i], tuple(shifts[i]), axis=(1, 2))``
+    for every ``i``: a roll by ``s`` reads element ``(j - s) % size``, so two
+    ``take_along_axis`` gathers with per-image modular index rows reproduce
+    the per-image loop bit for bit.
+    """
+    n, _, h, w = images.shape
+    rows = (np.arange(h)[None, :] - shifts[:, 0:1]) % h
+    cols = (np.arange(w)[None, :] - shifts[:, 1:2]) % w
+    out = np.take_along_axis(images, rows[:, None, :, None], axis=2)
+    return np.take_along_axis(out, cols[:, None, None, :], axis=3)
+
+
 def _render(
     rng: np.random.Generator,
     prototypes: np.ndarray,
@@ -80,17 +99,17 @@ def _render(
     num_classes, modes = prototypes.shape[:2]
     n = len(labels)
     channels = prototypes.shape[2]
-    images = np.empty((n, channels, size, size), dtype=np.float32)
     mode_pick = rng.integers(0, modes, size=n)
     shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
     contrast = rng.uniform(0.8, 1.2, size=n).astype(np.float32)
     brightness = rng.uniform(-0.1, 0.1, size=n).astype(np.float32)
     noise = rng.standard_normal((n, channels, size, size)).astype(np.float32)
-    for i in range(n):
-        proto = prototypes[labels[i], mode_pick[i]]
-        img = np.roll(proto, shift=tuple(shifts[i]), axis=(1, 2))
-        img = contrast[i] * img + brightness[i] + noise_std * noise[i]
-        images[i] = img
+    rolled = roll_images(prototypes[labels, mode_pick], shifts)
+    images = (
+        contrast[:, None, None, None] * rolled
+        + brightness[:, None, None, None]
+        + noise_std * noise
+    )
     # Map roughly N(0,1) field to [0,1] pixel range.
     images = 0.5 + 0.22 * images
     return np.clip(images, 0.0, 1.0)

@@ -1,4 +1,12 @@
-"""Image transforms on NCHW float arrays."""
+"""Image transforms on NCHW float arrays.
+
+The augmentation pair (``random_crop`` + ``random_hflip``) sits on the
+training hot path: at paper scale it runs once per image per epoch, so
+both are expressed as single batched gathers.  Each draws exactly the
+same RNG sequence as its per-image reference (kept below as
+``*_reference`` for the parity tests and the data-path benchmark) and
+produces bitwise-identical output.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,28 @@ import numpy as np
 
 
 def random_crop(x: np.ndarray, pad: int, rng: np.random.Generator) -> np.ndarray:
-    """Zero-pad by ``pad`` then crop back to the original size at a random offset."""
+    """Zero-pad by ``pad`` then crop back to the original size at a random offset.
+
+    One gather over a sliding-window view of the padded batch: window
+    ``(dy, dx)`` of image ``i`` *is* ``padded[i, :, dy:dy+h, dx:dx+w]``,
+    so the fancy index below selects exactly what the per-image slice
+    loop copied.
+    """
+    if pad == 0:
+        return x
+    n = x.shape[0]
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+    # (N, C, 2p+1, 2p+1, H, W): axis 2/3 index the crop offset
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, x.shape[2:], axis=(2, 3))
+    return np.ascontiguousarray(
+        windows[np.arange(n), :, offsets[:, 0], offsets[:, 1]])
+
+
+def random_crop_reference(x: np.ndarray, pad: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Per-image slice-loop reference for :func:`random_crop`."""
     if pad == 0:
         return x
     n, c, h, w = x.shape
@@ -20,9 +49,44 @@ def random_crop(x: np.ndarray, pad: int, rng: np.random.Generator) -> np.ndarray
 
 
 def random_hflip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
-    """Flip each image horizontally with probability ``p``."""
+    """Flip each image horizontally with probability ``p``.
+
+    Each output element is written exactly once: kept images copy
+    straight across, flipped images gather with their last axis
+    reversed — no full copy followed by a fancy-index re-assignment of
+    the flipped subset.
+    """
+    flip = rng.random(len(x)) < p
+    out = np.empty_like(x)
+    keep = ~flip
+    out[keep] = x[keep]
+    out[flip] = x[flip, :, :, ::-1]
+    return out
+
+
+def random_hflip_reference(x: np.ndarray, rng: np.random.Generator,
+                           p: float = 0.5) -> np.ndarray:
+    """Copy-then-reassign reference for :func:`random_hflip`."""
     flip = rng.random(len(x)) < p
     out = x.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def augment_batch(x: np.ndarray, crop_pad: int, rng: np.random.Generator,
+                  p: float = 0.5) -> np.ndarray:
+    """``random_hflip(random_crop(x, crop_pad), p)`` as one fused gather.
+
+    The crop gather already materialises a fresh batch, so the flip
+    happens in place on that result instead of allocating (and filling)
+    a second full-size array.  Draws the identical RNG sequence (crop
+    offsets, then flip uniforms) and returns bitwise-identical output;
+    the loader uses this on its per-batch hot path.
+    """
+    if not crop_pad:
+        return random_hflip(x, rng, p)
+    out = random_crop(x, crop_pad, rng)
+    flip = rng.random(len(x)) < p
     out[flip] = out[flip, :, :, ::-1]
     return out
 

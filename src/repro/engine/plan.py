@@ -48,7 +48,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..events import scatter_chunks
+from ..events import scatter_add_rows, scatter_chunks
 
 PathLike = Union[str, Path]
 
@@ -74,39 +74,10 @@ class PlanError(RuntimeError):
     """A plan file could not be decoded (message says why)."""
 
 
-# ----------------------------------------------------------------------
-# The segment-sum scatter kernel (the np.add.at replacement)
-# ----------------------------------------------------------------------
-
-def scatter_add_rows(out: np.ndarray, rows: np.ndarray,
-                     contrib: np.ndarray) -> None:
-    """``out[rows[i]] += contrib[i]`` with ``np.add.at`` semantics.
-
-    ``out`` is ``(R, C)``, ``rows`` ``(E,)``, ``contrib`` ``(E, C)``.
-    Duplicate destinations accumulate.  Float accumulators reduce via
-    ``np.bincount`` over flattened ``(row, col)`` indices — the same
-    element-at-a-time, input-order accumulation ``np.add.at`` performs,
-    so the result is *bitwise identical*, at a fraction of the cost.
-    Integer accumulators use a stable segment sort plus
-    ``np.add.reduceat``; integer addition is exact, so destination
-    order is free to change.
-    """
-    n_events = len(rows)
-    if n_events == 0:
-        return
-    n_cols = out.shape[1]
-    if out.dtype.kind == "f":
-        flat = rows[:, None] * n_cols + np.arange(n_cols, dtype=rows.dtype)
-        counts = np.bincount(flat.ravel(), weights=contrib.ravel(),
-                             minlength=out.size)
-        out += counts.reshape(out.shape).astype(out.dtype, copy=False)
-        return
-    order = np.argsort(rows, kind="stable")
-    sorted_rows = rows[order]
-    starts = np.flatnonzero(np.r_[True, np.diff(sorted_rows) != 0])
-    sums = np.add.reduceat(contrib[order], starts, axis=0)
-    out[sorted_rows[starts]] += sums
-
+# The segment-sum scatter kernel (the np.add.at replacement) lives in
+# repro.events.stream — the package's bottom layer — so the tensor
+# library's pooling backward shares the one implementation without an
+# import cycle.  Imported above; re-exported here, its historical home.
 
 # ----------------------------------------------------------------------
 # Cost model (the `auto` backend's per-layer decision)

@@ -9,8 +9,9 @@ from .stream import (
     NO_SPIKE,
     EventStream,
     conv_offset_coverage,
+    scatter_add_rows,
     scatter_chunks,
 )
 
 __all__ = ["NO_SPIKE", "EventStream", "conv_offset_coverage",
-           "scatter_chunks"]
+           "scatter_add_rows", "scatter_chunks"]

@@ -46,6 +46,41 @@ def scatter_chunks(num_events: int, width: int) -> "Iterator[slice]":
         yield slice(start, start + chunk)
 
 
+def scatter_add_rows(out: np.ndarray, rows: np.ndarray,
+                     contrib: np.ndarray) -> None:
+    """``out[rows[i]] += contrib[i]`` with ``np.add.at`` semantics.
+
+    ``out`` is ``(R, C)``, ``rows`` ``(E,)``, ``contrib`` ``(E, C)``.
+    Duplicate destinations accumulate.  Float accumulators reduce via
+    ``np.bincount`` over flattened ``(row, col)`` indices — the same
+    element-at-a-time, input-order accumulation ``np.add.at`` performs,
+    so the result is *bitwise identical*, at a fraction of the cost.
+    Integer accumulators use a stable segment sort plus
+    ``np.add.reduceat``; integer addition is exact, so destination
+    order is free to change.
+
+    Lives here (the package's bottom layer) so both the engine's
+    compiled event plans and the tensor library's pooling backward can
+    share the one implementation without an import cycle;
+    :mod:`repro.engine.plan` re-exports it.
+    """
+    n_events = len(rows)
+    if n_events == 0:
+        return
+    n_cols = out.shape[1]
+    if out.dtype.kind == "f":
+        flat = rows[:, None] * n_cols + np.arange(n_cols, dtype=rows.dtype)
+        counts = np.bincount(flat.ravel(), weights=contrib.ravel(),
+                             minlength=out.size)
+        out += counts.reshape(out.shape).astype(out.dtype, copy=False)
+        return
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(sorted_rows) != 0])
+    sums = np.add.reduceat(contrib[order], starts, axis=0)
+    out[sorted_rows[starts]] += sums
+
+
 def conv_offset_coverage(y: np.ndarray, x: np.ndarray, kernel: int,
                          stride: int, padding: int, oh: int, ow: int):
     """Which output cells each event covers, one kernel offset at a time.

@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..events import scatter_add_rows
 from .tensor import Tensor
 
 
@@ -120,12 +121,25 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     x_shape = x.data.shape
 
     def backward(g):
+        hi = arg // kernel + stride * np.arange(oh).reshape(1, 1, oh, 1)
+        wj = arg % kernel + stride * np.arange(ow).reshape(1, 1, 1, ow)
+        if stride >= kernel:
+            # Disjoint windows: every input cell receives at most one
+            # contribution, so the segment-sum scatter (shared with the
+            # engine's event plans) is exact — bitwise identical to the
+            # old np.indices + np.add.at formulation at a fraction of
+            # the cost.
+            gx = np.zeros((n * c * h * w, 1), dtype=g.dtype)
+            plane = (np.arange(n * c) * h).reshape(n, c, 1, 1)
+            rows = ((plane + hi) * w + wj).ravel()
+            scatter_add_rows(gx, rows, g.reshape(-1, 1))
+            return (gx.reshape(x_shape),)
+        # Overlapping windows can land 3+ float32 contributions on one
+        # cell, where a widened segment sum no longer reproduces the
+        # sequential float32 rounding — keep the reference scatter.
         gx = np.zeros(x_shape, dtype=g.dtype)
-        ki = arg // kernel
-        kj = arg % kernel
-        ni, ci, oi, oj = np.indices((n, c, oh, ow))
-        hi = oi * stride + ki
-        wj = oj * stride + kj
+        ni = np.arange(n).reshape(n, 1, 1, 1)
+        ci = np.arange(c).reshape(1, c, 1, 1)
         np.add.at(gx, (ni, ci, hi, wj), g)
         return (gx,)
 
@@ -151,8 +165,27 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     scale = 1.0 / (kernel * kernel)
 
     def backward(g):
-        gx = np.zeros(x_shape, dtype=g.dtype)
         gk = g * scale
+        if stride == kernel and h == kernel * oh and w == kernel * ow:
+            # Windows tile the input exactly (the VGG 2x2 case): the
+            # gradient is gk with every cell replicated kernel x kernel
+            # — one vectorised expansion, no zeros buffer, bitwise
+            # identical to the K*K accumulation loop (each cell
+            # received exactly one += against zero).
+            return (gk.repeat(kernel, axis=2).repeat(kernel, axis=3),)
+        gx = np.zeros(x_shape, dtype=g.dtype)
+        if stride >= kernel:
+            # Disjoint windows with uncovered remainder cells or gaps:
+            # one strided-view broadcast writes each window cell once
+            # and leaves the rest zero.
+            gn, gc, gh, gw = gx.strides
+            window = np.lib.stride_tricks.as_strided(
+                gx, shape=(n, c, oh, ow, kernel, kernel),
+                strides=(gn, gc, gh * stride, gw * stride, gh, gw))
+            window[...] = gk[..., None, None]
+            return (gx,)
+        # Overlapping windows accumulate; keep the per-tap strided adds
+        # (one vectorised += per (ki, kj), same order as before).
         for ki in range(kernel):
             for kj in range(kernel):
                 gx[:, :, ki : ki + stride * oh : stride, kj : kj + stride * ow : stride] += gk

@@ -191,3 +191,28 @@ class TestFileLoading:
         broken.write_text("{not json")
         with pytest.raises(ConfigError, match="not valid JSON"):
             config_from_file(broken)
+
+
+class TestShardDatasetConfig:
+    def test_shards_skip_name_validation(self):
+        # shards point at a directory; the name is informational then
+        cfg = config_from_dict({"dataset": {"shards": "/somewhere/shards"}})
+        assert cfg.dataset.shards == "/somewhere/shards"
+        assert cfg.dataset.prefetch == 2
+
+    def test_prefetch_loads_and_validates(self):
+        cfg = config_from_dict({"dataset": {"prefetch": 0}})
+        assert cfg.dataset.prefetch == 0
+        with pytest.raises(ConfigError, match="prefetch"):
+            config_from_dict({"dataset": {"prefetch": -1}})
+
+    def test_unknown_dataset_name_still_rejected_without_shards(self):
+        with pytest.raises(ConfigError, match="dataset"):
+            config_from_dict({"dataset": {"name": "imagenet-22k"}})
+
+    def test_round_trips_through_to_dict(self):
+        cfg = config_from_dict({"dataset": {"shards": "/tmp/s",
+                                            "prefetch": 3}})
+        again = config_from_dict(config_to_dict(cfg))
+        assert again.dataset.shards == "/tmp/s"
+        assert again.dataset.prefetch == 3

@@ -1,0 +1,90 @@
+"""CATTrainer over sharded streams: bit-identical to in-memory training."""
+
+import numpy as np
+import pytest
+
+from repro.cat import CATConfig, evaluate, train_cat
+from repro.data import make_dataset, open_shards, write_shards
+from repro.nn import init as nninit, vgg_micro
+from repro.tensor import Tensor
+
+
+def micro_cfg(**overrides):
+    base = dict(window=12, tau=2.0, method="I+II+III", epochs=3,
+                relu_epochs=1, ttfs_epoch=2, lr=0.05, milestones=(2,),
+                batch_size=32, augment=True, seed=0)
+    base.update(overrides)
+    return CATConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(4, 8, train_per_class=30, test_per_class=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def sharded(dataset, tmp_path_factory):
+    root = tmp_path_factory.mktemp("trainer-shards") / "s"
+    return open_shards(write_shards(dataset, root, shard_size=40))
+
+
+def _state(model):
+    return {k: v.copy() for k, v in model.state_dict().items()}
+
+
+class TestStreamingEquivalence:
+    def test_final_weights_bit_identical(self, dataset, sharded):
+        """Same seed, same schedule: streamed shards must train to the
+        exact weights the in-memory path produces."""
+        nninit.seed(0)
+        mem_model = vgg_micro(num_classes=4, input_size=8)
+        mem = train_cat(mem_model, dataset, micro_cfg())
+
+        nninit.seed(0)
+        stream_model = vgg_micro(num_classes=4, input_size=8)
+        stream = train_cat(stream_model, sharded, micro_cfg(), prefetch=2)
+
+        a, b = _state(mem_model), _state(stream_model)
+        assert a.keys() == b.keys()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+        assert [r.train_loss for r in mem.history] \
+            == [r.train_loss for r in stream.history]
+        assert [r.test_acc for r in mem.history] \
+            == [r.test_acc for r in stream.history]
+
+    def test_history_records_throughput(self, dataset):
+        nninit.seed(0)
+        model = vgg_micro(num_classes=4, input_size=8)
+        result = train_cat(model, dataset, micro_cfg(epochs=1))
+        record = result.history[0]
+        assert record.images_per_s > 0
+        # throughput excludes evaluation, so it can't be slower than the
+        # whole epoch including it
+        assert record.images_per_s >= 120 / record.seconds
+
+
+class TestEvaluateBuffer:
+    def test_matches_manual_accuracy(self, dataset):
+        nninit.seed(1)
+        model = vgg_micro(num_classes=4, input_size=8)
+        acc = evaluate(model, dataset.test_x, dataset.test_y, batch_size=10)
+        model.eval()
+        preds = np.concatenate([
+            model(Tensor(dataset.test_x[i : i + 10])).data.argmax(axis=1)
+            for i in range(0, len(dataset.test_y), 10)])
+        assert acc == float(np.mean(preds == dataset.test_y))
+
+    def test_batch_size_invariant(self, dataset):
+        nninit.seed(1)
+        model = vgg_micro(num_classes=4, input_size=8)
+        accs = {evaluate(model, dataset.test_x, dataset.test_y, batch_size=b)
+                for b in (1, 7, 32, 1000)}
+        assert len(accs) == 1
+
+    def test_restores_training_mode(self, dataset):
+        nninit.seed(1)
+        model = vgg_micro(num_classes=4, input_size=8)
+        model.train()
+        evaluate(model, dataset.test_x, dataset.test_y)
+        assert model.training

@@ -1,0 +1,121 @@
+"""Pooling backward kernels vs. the reference scatter, bit for bit."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor
+from repro.tensor.conv import avg_pool2d, max_pool2d, _out_size
+
+
+def _max_pool_backward_reference(x, g, kernel, stride):
+    """The historical np.indices + np.add.at formulation."""
+    n, c, h, w = x.shape
+    oh = _out_size(h, kernel, stride, 0)
+    ow = _out_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw), writeable=False)
+    arg = view.reshape(n, c, oh, ow, kernel * kernel).argmax(axis=-1)
+    hi = arg // kernel + stride * np.arange(oh).reshape(1, 1, oh, 1)
+    wj = arg % kernel + stride * np.arange(ow).reshape(1, 1, 1, ow)
+    gx = np.zeros(x.shape, dtype=g.dtype)
+    ni = np.arange(n).reshape(n, 1, 1, 1)
+    ci = np.arange(c).reshape(1, c, 1, 1)
+    np.add.at(gx, (ni, ci, hi, wj), g)
+    return gx
+
+
+def _avg_pool_backward_reference(x_shape, g, kernel, stride):
+    """The historical K*K accumulation-loop formulation."""
+    n, c, h, w = x_shape
+    oh, ow = g.shape[2], g.shape[3]
+    gx = np.zeros(x_shape, dtype=g.dtype)
+    gk = g * (1.0 / (kernel * kernel))
+    for ki in range(kernel):
+        for kj in range(kernel):
+            gx[:, :, ki : ki + stride * oh : stride,
+               kj : kj + stride * ow : stride] += gk
+    return gx
+
+
+def _grad(pool, x, kernel, stride, g):
+    t = Tensor(x, requires_grad=True)
+    out = pool(t, kernel, stride)
+    out.backward(g)
+    return t.grad
+
+
+pool_cases = st.tuples(
+    st.integers(1, 3),    # n
+    st.integers(1, 3),    # c
+    st.integers(1, 3),    # kernel
+    st.integers(1, 3),    # stride
+    st.integers(0, 2),    # extra input size beyond one window
+    st.integers(0, 999),  # seed
+)
+
+
+class TestMaxPoolBackward:
+    @given(pool_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_vs_reference(self, case):
+        n, c, kernel, stride, extra, seed = case
+        size = kernel + stride * extra
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, size, size)).astype(np.float32)
+        oh = _out_size(size, kernel, stride, 0)
+        g = rng.standard_normal((n, c, oh, oh)).astype(np.float32)
+        got = _grad(max_pool2d, x, kernel, stride, g)
+        ref = _max_pool_backward_reference(x, g, kernel, stride)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(got, ref)
+
+    def test_vgg_shape_2x2(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 8, 16, 16)).astype(np.float32)
+        g = rng.standard_normal((4, 8, 8, 8)).astype(np.float32)
+        got = _grad(max_pool2d, x, 2, 2, g)
+        assert np.array_equal(got, _max_pool_backward_reference(x, g, 2, 2))
+
+    def test_overlapping_windows(self):
+        # stride < kernel: the reference np.add.at path must still run
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        g = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        got = _grad(max_pool2d, x, 2, 1, g)
+        assert np.array_equal(got, _max_pool_backward_reference(x, g, 2, 1))
+
+
+class TestAvgPoolBackward:
+    @given(pool_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_vs_reference(self, case):
+        n, c, kernel, stride, extra, seed = case
+        size = kernel + stride * extra
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, size, size)).astype(np.float32)
+        oh = _out_size(size, kernel, stride, 0)
+        g = rng.standard_normal((n, c, oh, oh)).astype(np.float32)
+        got = _grad(avg_pool2d, x, kernel, stride, g)
+        ref = _avg_pool_backward_reference(x.shape, g, kernel, stride)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(got, ref)
+
+    def test_overlapping_windows(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        g = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        got = _grad(avg_pool2d, x, 2, 1, g)
+        ref = _avg_pool_backward_reference(x.shape, g, 2, 1)
+        assert np.array_equal(got, ref)
+
+
+def test_scatter_kernel_shared_with_engine():
+    """tensor pooling and engine plans must use one scatter kernel."""
+    from repro.engine import plan
+    from repro.events import scatter_add_rows
+    from repro.tensor import conv
+
+    assert conv.scatter_add_rows is scatter_add_rows
+    assert plan.scatter_add_rows is scatter_add_rows

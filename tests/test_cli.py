@@ -387,3 +387,54 @@ class TestSimulateArtifactDefaults:
         assert main(["simulate", "--artifact", out_dir,
                      "--limit", "12", "--max-batch", "4"]) == 0
         assert "of <= 4)" in capsys.readouterr().out
+
+
+class TestShardsCommand:
+    def test_write_then_info(self, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        assert main(["shards", "--dataset", "mini-cifar10", "--out", out,
+                     "--shard-size", "100"]) == 0
+        written = capsys.readouterr().out
+        assert "wrote mini-cifar10" in written
+        assert "600 images in 6 shard(s)" in written
+        assert main(["shards", "--info", out]) == 0
+        info = capsys.readouterr().out
+        assert "8 shard(s) verified" in info
+        assert "format v1" in info
+
+    def test_out_required_without_info(self, capsys):
+        assert main(["shards", "--out", ""]) == 2
+        assert "--out DIR required" in capsys.readouterr().err
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        assert main(["shards", "--dataset", "imagenet",
+                     "--out", str(tmp_path / "s")]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_existing_dir_needs_force(self, tmp_path, capsys):
+        out = str(tmp_path / "shards")
+        assert main(["shards", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["shards", "--out", out]) == 2
+        assert "--force" in capsys.readouterr().err
+        assert main(["shards", "--out", out, "--force"]) == 0
+
+    def test_info_on_missing_dir(self, tmp_path, capsys):
+        assert main(["shards", "--info", str(tmp_path / "absent")]) == 2
+        assert "not a shard directory" in capsys.readouterr().err
+
+    def test_run_consumes_shards(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "shards")
+        assert main(["shards", "--out", out]) == 0
+        capsys.readouterr()
+        config = tmp_path / "exp.json"
+        config.write_text(json.dumps({
+            "name": "cli-shards",
+            "stages": ["train", "convert"],
+            "dataset": {"shards": out},
+            "train": {"epochs": 1},
+        }))
+        assert main(["run", str(config)]) == 0
+        assert "train" in capsys.readouterr().out

@@ -79,3 +79,37 @@ def test_fail_on_regress_rejects_nonpositive(tmp_path, compare_main):
     base, fresh = _write_suite(tmp_path, 10.0, 10.0)
     with pytest.raises(SystemExit):
         compare_main(_args(base, fresh, "--fail-on-regress", "0"))
+
+
+def _write_train_suite(tmp_path, baseline_speedup, fresh_speedup):
+    base = tmp_path / "train-base.json"
+    fresh = tmp_path / "train-fresh.json"
+    for path, speedup in ((base, baseline_speedup), (fresh, fresh_speedup)):
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "records": [{"case": "epoch-aug", "speedup": speedup},
+                        {"case": "train-rss", "speedup": 1.4}]}))
+    return base, fresh
+
+
+class TestTrainSuite:
+    def test_within_tolerance_passes(self, tmp_path, compare_main, capsys):
+        base, fresh = _write_train_suite(tmp_path, 6.0, 5.5)
+        assert compare_main(["--suite", "train", "--baseline", str(base),
+                             "--fresh", str(fresh)]) == 0
+        assert "train ratio checks" in capsys.readouterr().out
+
+    def test_speedup_regression_fails(self, tmp_path, compare_main, capsys):
+        base, fresh = _write_train_suite(tmp_path, 6.0, 2.0)
+        assert compare_main(["--suite", "train", "--baseline", str(base),
+                             "--fresh", str(fresh)]) == 1
+        assert "epoch-aug" in capsys.readouterr().out
+
+    def test_committed_baseline_matches_schema(self, compare_main):
+        baseline = COMPARE.parent.parent / "BENCH_train.json"
+        data = json.loads(baseline.read_text())
+        assert data["schema_version"] == 1
+        cases = {r["case"] for r in data["records"]}
+        assert cases == {"epoch-plain", "epoch-aug", "maxpool-backward",
+                         "avgpool-backward", "train-rss"}
+        assert all(r["speedup"] > 1.0 for r in data["records"])
