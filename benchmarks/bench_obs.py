@@ -1,0 +1,176 @@
+"""Observability overhead: the telemetry layer must cost (almost) nothing.
+
+Four claims, one bench, all expressed as **percent of the work they
+ride on** so the numbers transfer across hosts:
+
+* **Disabled path** — with a :class:`~repro.obs.NullRegistry` the
+  engine's per-chunk instrumentation is one attribute read and one
+  branch.  Counted analytically (touch points x measured per-touch
+  cost) against a timed micro ``PipelineRunner.accuracy`` run, the
+  same bound ``tests/obs/test_overhead.py`` pins at <2%.
+* **Enabled path** — full recording (chunk counters, per-layer spike /
+  SOP counters, latency histograms), costed the same analytic way:
+  ``record_chunk_metrics`` timed in isolation, scaled by chunk count.
+* **Snapshot/merge** — the cross-process delta a worker piggybacks on
+  every result pickle: ``snapshot(reset=True)`` plus a parent
+  ``merge()``, relative to the chunk work it accompanies.
+* **Exposition** — rendering the populated registry to Prometheus
+  text (one ``GET /metrics`` scrape), relative to the run that
+  produced the series.
+
+Percentages below ``NOISE_FLOOR_PCT`` are reported *as* the floor:
+on quiet and noisy hosts alike the claim is "under the floor", and the
+committed baseline stays comparable.
+
+Writes ``benchmarks/results/obs.txt`` (human table) and
+``benchmarks/results/obs.json`` (machine-readable; diffed against the
+committed ``BENCH_obs.json`` by ``compare.py --suite obs``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.cat import CATConfig, convert, train_cat
+from repro.data import make_dataset
+from repro.engine import PipelineRunner
+from repro.engine.runner import record_chunk_metrics
+from repro.nn import init as nninit, vgg_micro
+from repro.obs import MetricsRegistry, NullRegistry, render_prometheus
+from repro.snn import EventDrivenTTFSNetwork
+
+from conftest import RESULTS_DIR, save_result
+
+ROUNDS = 5                # best-of rounds per timed cell
+IMAGES = 24
+MAX_BATCH = 4
+PROBES = 20_000           # disabled-path touch measurements
+#: Measurements under this are timing noise; report the floor instead
+#: so the committed baseline is stable across hosts.
+NOISE_FLOOR_PCT = 0.5
+#: The disabled cell must stay under the contract the tests pin; the
+#: cells that do real recording work get a looser ceiling because
+#: micro-scale chunks overstate their share — a real chunk is orders
+#: of magnitude more work than an 8x8 micro batch, while the recording
+#: cost per chunk is fixed.
+CEILING_PCT = {
+    "runner-disabled": 2.0,
+    "runner-enabled": 10.0,
+    "snapshot-merge": 10.0,
+    "render-scrape": 10.0,
+}
+
+
+@pytest.fixture(scope="module")
+def obs_scheme():
+    """A micro TTFS network, trained fresh at test scale."""
+    dataset = make_dataset(4, 8, train_per_class=30, test_per_class=15,
+                           seed=1234, noise_std=0.3)
+    config = CATConfig(window=12, tau=2.0, method="I+II+III",
+                       epochs=4, relu_epochs=1, ttfs_epoch=3,
+                       lr=0.05, milestones=(2, 3), batch_size=32,
+                       augment=False, seed=0)
+    nninit.seed(7)
+    model = vgg_micro(num_classes=dataset.num_classes, input_size=8)
+    train_cat(model, dataset, config)
+    snn = convert(model, config, calibration=dataset.train_x[:32])
+    return EventDrivenTTFSNetwork(snn), dataset
+
+
+def _best(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _floored_pct(pct: float) -> float:
+    return round(max(pct, NOISE_FLOOR_PCT), 2)
+
+
+def test_obs_overhead(obs_scheme):
+    scheme, dataset = obs_scheme
+    x, y = dataset.test_x[:IMAGES], dataset.test_y[:IMAGES]
+    chunks = -(-len(x) // MAX_BATCH)
+
+    null_runner = PipelineRunner(scheme, max_batch=MAX_BATCH,
+                                 registry=NullRegistry())
+    live = MetricsRegistry()
+    live_runner = PipelineRunner(scheme, max_batch=MAX_BATCH,
+                                 registry=live)
+    t_null = _best(lambda: null_runner.accuracy(x, y))
+    live_runner.accuracy(x, y)      # populate every series once
+
+    # claim 1: the disabled path, costed analytically like the test
+    t0 = time.perf_counter()
+    for _ in range(PROBES):
+        registry = null_runner.registry \
+            if null_runner.registry is not None else None
+        if registry.enabled:
+            raise AssertionError("null registry reports enabled")
+    per_touch_s = (time.perf_counter() - t0) / PROBES
+    disabled_pct = 100.0 * chunks * per_touch_s / t_null
+
+    # claim 2: full recording, costed per chunk in isolation (an A/B
+    # of two whole runs would be noise-dominated at micro scale)
+    sample = scheme.run(x[:MAX_BATCH])
+    scratch = MetricsRegistry()
+    record_probes = 2_000
+    t0 = time.perf_counter()
+    for _ in range(record_probes):
+        record_chunk_metrics(scratch, scheme, MAX_BATCH, 1e-3, sample)
+    per_record_s = (time.perf_counter() - t0) / record_probes
+    enabled_pct = 100.0 * chunks * per_record_s / t_null
+
+    # claim 3: one worker delta (snapshot + parent merge) per chunk
+    def snapshot_merge():
+        parent = MetricsRegistry()
+        parent.merge(live.snapshot())
+    snapshot_pct = 100.0 * _best(snapshot_merge) / (t_null / chunks)
+
+    # claim 4: one /metrics scrape of the populated registry
+    render_pct = 100.0 * _best(lambda: render_prometheus(live)) / t_null
+
+    records = [
+        {"case": "runner-disabled", "overhead_pct":
+            _floored_pct(disabled_pct),
+         "basis": f"{chunks} chunk touches / accuracy({IMAGES})"},
+        {"case": "runner-enabled", "overhead_pct":
+            _floored_pct(enabled_pct),
+         "basis": f"{chunks} recorded chunks / accuracy({IMAGES})"},
+        {"case": "snapshot-merge", "overhead_pct":
+            _floored_pct(snapshot_pct),
+         "basis": "one worker delta vs one chunk"},
+        {"case": "render-scrape", "overhead_pct":
+            _floored_pct(render_pct),
+         "basis": "one Prometheus render vs the run"},
+    ]
+    for record in records:
+        assert record["overhead_pct"] <= CEILING_PCT[record["case"]], \
+            record
+
+    rows = [[r["case"], r["overhead_pct"], r["basis"]] for r in records]
+    table = format_table(
+        ["case", "overhead %", "measured as"], rows,
+        title=f"observability overhead, {IMAGES} images, "
+              f"max_batch {MAX_BATCH} (floor {NOISE_FLOOR_PCT}%)")
+    save_result("obs", table + (
+        "\n\nEach cell is telemetry cost as a percent of the work it"
+        " instruments; values below the noise floor report the floor."
+        " The tests pin the disabled path under "
+        f"{CEILING_PCT['runner-disabled']}%; cells that do real"
+        " recording work are held under "
+        f"{CEILING_PCT['runner-enabled']}% (micro-scale chunks"
+        " overstate their share)."))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.json").write_text(json.dumps(
+        {"schema_version": 1, "images": IMAGES, "max_batch": MAX_BATCH,
+         "noise_floor_pct": NOISE_FLOOR_PCT, "records": records},
+        indent=2) + "\n")

@@ -14,7 +14,11 @@ speed, so they transfer across hosts far better than raw milliseconds:
 * ``train`` — the streaming training data path (``BENCH_train.json``:
   ``speedup`` per record — data-path images/sec vs the historical
   per-image loader, pool-backward kernels vs their old formulations,
-  and peak-RSS ratio of in-memory over streamed training).
+  and peak-RSS ratio of in-memory over streamed training);
+* ``obs`` — the observability layer (``BENCH_obs.json``:
+  ``overhead_pct`` per record — telemetry cost as a percent of the
+  work it instruments, floored at the bench's noise floor; lower is
+  better).
 
 This script compares those ratios record-by-record against the fresh
 ``benchmarks/results/<suite>.json`` and flags any that regressed
@@ -60,6 +64,10 @@ def _train_key(record: dict) -> tuple:
     return (record["case"],)
 
 
+def _obs_key(record: dict) -> tuple:
+    return (record["case"],)
+
+
 #: suite name -> how to load and diff it.  ``metrics`` maps each ratio
 #: metric to True when higher is better.
 SUITES = {
@@ -94,6 +102,16 @@ SUITES = {
             "speedup": True,
         },
         "key": _train_key,
+    },
+    "obs": {
+        "baseline": REPO_ROOT / "BENCH_obs.json",
+        "fresh": RESULTS / "obs.json",
+        "bench": "benchmarks/bench_obs.py",
+        "schema_version": 1,
+        "metrics": {
+            "overhead_pct": False,
+        },
+        "key": _obs_key,
     },
 }
 

@@ -22,11 +22,13 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .. import __version__
 from ..engine.cache import ResultCache, digest
+from ..obs import get_registry, span, span_tree
 from .config import ExperimentConfig, config_to_dict
 from .stages import PipelineContext, Stage, get_stage
 
-#: Version of the report dict layout.
-REPORT_SCHEMA_VERSION = 1
+#: Version of the report dict layout.  2 adds the ``spans`` tree (the
+#: experiment/stage timing forest recorded by :mod:`repro.obs`).
+REPORT_SCHEMA_VERSION = 2
 
 #: Bump when stage payload layouts change; part of every chained key so
 #: stale stores never decode against new stage code.
@@ -55,6 +57,10 @@ class ExperimentReport:
     config: Dict[str, Any]
     stages: List[StageRecord] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Per-stage span forest (``repro.obs.span_tree`` of everything this
+    #: run recorded): each root is the experiment span, its children the
+    #: stages, plus any nested spans the stages themselves opened.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
     total_elapsed_s: float = 0.0
     cached: bool = False
     context: Optional[PipelineContext] = None  # not serialised
@@ -80,6 +86,7 @@ class ExperimentReport:
             "stages": [s.to_dict() for s in self.stages],
             "cache_hits": self.cache_hits,
             "metrics": self.metrics,
+            "spans": self.spans,
             "total_elapsed_s": self.total_elapsed_s,
         }
 
@@ -113,21 +120,44 @@ class Experiment:
                                   config=config_to_dict(self.config),
                                   cached=self.cache is not None,
                                   context=ctx)
+        registry = get_registry()
+        spans_before = len(registry.spans()) if registry.enabled else 0
         t_run = time.perf_counter()
         chain: Optional[str] = None
-        for stage in self.stages:
-            if self.on_stage_start is not None:
-                self.on_stage_start(stage)
-            # cache keys digest real stage inputs (weights, datasets),
-            # so only pay for them when there is a cache to address
-            local = (stage.cache_key(ctx) if self.cache is not None
-                     else None)
-            key: Optional[str] = None
-            if local is not None:
-                key = digest("api-stage", STAGE_CACHE_FORMAT, __version__,
-                             stage.name, local, chain or "")
-            t0 = time.perf_counter()
-            status = "completed"
+        with span(f"experiment.{self.config.name}"):
+            for stage in self.stages:
+                record = self._run_stage(stage, ctx, chain)
+                report.stages.append(record)
+                if record.cache_key is not None:
+                    # uncacheable (analytic) stages leave the chain
+                    # untouched: they produce no context a later stage's
+                    # output consumes
+                    chain = record.cache_key
+        report.metrics = ctx.metrics
+        report.total_elapsed_s = time.perf_counter() - t_run
+        if registry.enabled:
+            # everything recorded during this run — the experiment/stage
+            # forest plus any worker spans merged in along the way
+            report.spans = span_tree(registry.spans()[spans_before:])
+        return report
+
+    def _run_stage(self, stage: Stage, ctx: PipelineContext,
+                   chain: Optional[str]) -> StageRecord:
+        """Execute (or replay) one stage, spanned and counted."""
+        registry = get_registry()
+        if self.on_stage_start is not None:
+            self.on_stage_start(stage)
+        # cache keys digest real stage inputs (weights, datasets),
+        # so only pay for them when there is a cache to address
+        local = (stage.cache_key(ctx) if self.cache is not None
+                 else None)
+        key: Optional[str] = None
+        if local is not None:
+            key = digest("api-stage", STAGE_CACHE_FORMAT, __version__,
+                         stage.name, local, chain or "")
+        t0 = time.perf_counter()
+        status = "completed"
+        with span(f"stage.{stage.name}") as rec:
             if key is not None:
                 payload = self.cache.get(key)
                 if payload is not None:
@@ -139,19 +169,24 @@ class Experiment:
                     payload = stage.export(ctx)
                     if payload is not None:
                         self.cache.put(key, payload)
-            record = StageRecord(name=stage.name, status=status,
-                                 elapsed_s=time.perf_counter() - t0,
-                                 cache_key=key)
-            report.stages.append(record)
-            if self.on_stage_end is not None:
-                self.on_stage_end(record)
-            if key is not None:
-                # uncacheable (analytic) stages leave the chain untouched:
-                # they produce no context a later stage's output consumes
-                chain = key
-        report.metrics = ctx.metrics
-        report.total_elapsed_s = time.perf_counter() - t_run
-        return report
+            if rec is not None:
+                rec["meta"] = {"status": status}
+        elapsed = time.perf_counter() - t0
+        if registry.enabled:
+            registry.counter(
+                "repro_stage_cache_total",
+                "Stage executions by cache outcome").inc(
+                    1, stage=stage.name,
+                    outcome="hit" if status == "cached" else "miss")
+            registry.histogram(
+                "repro_stage_seconds",
+                "Wall time per pipeline stage (cached replays "
+                "included)").observe(elapsed, stage=stage.name)
+        record = StageRecord(name=stage.name, status=status,
+                             elapsed_s=elapsed, cache_key=key)
+        if self.on_stage_end is not None:
+            self.on_stage_end(record)
+        return record
 
 
 def run_experiment(config: ExperimentConfig,

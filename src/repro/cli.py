@@ -24,7 +24,9 @@ Fast, self-contained entry points into the reproduction:
   optionally save) the predictions and the per-request cost metrics;
 * ``export`` — compile an artifact bundle into a self-contained target
   description (``engine`` | ``pynn-netlist`` | ``tile-config``), verify
-  it loads back, and optionally execute it over a dataset.
+  it loads back, and optionally execute it over a dataset;
+* ``metrics``— scrape a running server's ``GET /metrics`` and print the
+  telemetry as JSON (or the raw Prometheus text with ``--text``).
 
 Every subcommand is a thin wrapper: it builds an
 :class:`repro.api.ExperimentConfig` (see :mod:`repro.api.presets`) and
@@ -56,7 +58,7 @@ def _cmd_info(args) -> int:
     print(f"repro {__version__} — DAC'22 TTFS-CAT reproduction")
     print(__doc__)
     print("subsystems    : tensor, nn, optim, data, cat, events, engine, "
-          "api, snn, quant, hw, serve, targets, analysis")
+          "api, snn, quant, hw, serve, targets, analysis, obs")
     print("artefacts     : fig2 fig3 fig4 fig6 table1 table2 table4 "
           "(see benchmarks/)")
     aliases = ", ".join(f"{a} -> {t}"
@@ -534,8 +536,8 @@ def _cmd_serve(args) -> int:
     print(f"fleet: {fleet}; admission queue "
           + (f"{args.max_queue} image(s), 503 beyond"
              if args.max_queue else "unbounded"))
-    print("endpoints: GET /healthz, GET /models, POST /predict "
-          "(Ctrl-C to stop)")
+    print("endpoints: GET /healthz, GET /metrics, GET /models, "
+          "POST /predict (Ctrl-C to stop)")
     server.serve_forever()
     return 0
 
@@ -652,6 +654,37 @@ def _cmd_export(args) -> int:
         }, indent=2) + "\n")
         print(f"accuracy  : {accuracy:.3f} over {len(preds)} image(s)")
         print(f"predictions written to {path}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    from .obs import parse_prometheus
+
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            text = response.read().decode()
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"repro metrics: error: cannot scrape {url}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.text:
+        sys.stdout.write(text)
+        return 0
+    families = parse_prometheus(text)
+    dump = {
+        family: {
+            "type": entry["type"],
+            "samples": [{"name": name, "labels": labels, "value": value}
+                        for name, labels, value in entry["samples"]],
+        }
+        for family, entry in sorted(families.items())
+    }
+    print(json.dumps(dump, indent=2))
     return 0
 
 
@@ -932,6 +965,20 @@ def _add_export_parser(sub) -> None:
     p.set_defaults(fn=_cmd_export)
 
 
+def _add_metrics_parser(sub) -> None:
+    p = sub.add_parser(
+        "metrics",
+        help="scrape a running server's /metrics and print it as JSON")
+    p.add_argument("--url", default="http://127.0.0.1:8378",
+                   help="prediction-server base URL")
+    p.add_argument("--text", action="store_true",
+                   help="print the raw Prometheus exposition text "
+                        "instead of JSON")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="scrape timeout in seconds")
+    p.set_defaults(fn=_cmd_metrics)
+
+
 def _add_shards_parser(sub) -> None:
     p = sub.add_parser(
         "shards",
@@ -962,7 +1009,8 @@ def build_parser() -> argparse.ArgumentParser:
                           _add_train_parser, _add_simulate_parser,
                           _add_evaluate_parser, _add_build_parser,
                           _add_serve_parser, _add_predict_parser,
-                          _add_export_parser, _add_shards_parser):
+                          _add_export_parser, _add_metrics_parser,
+                          _add_shards_parser):
         add_subparser(sub)
     return parser
 

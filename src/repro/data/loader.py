@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import get_registry
 from .shards import ShardedDataset
 from .transforms import augment_batch
 
@@ -69,7 +71,23 @@ class _PrefetchIterator:
     def __next__(self) -> Tuple[np.ndarray, np.ndarray]:
         if self._done:
             raise StopIteration
-        item = self._queue.get()
+        registry = get_registry()
+        if not registry.enabled:
+            item = self._queue.get()
+        else:
+            # a non-empty queue means the producer is keeping up; the
+            # blocked get below is a prefetch stall the consumer eats
+            registry.histogram(
+                "repro_loader_queue_depth",
+                "Prefetched batches staged when the consumer asked",
+                buckets=tuple(float(i) for i in range(1, 17))).observe(
+                    self._queue.qsize())
+            t0 = time.perf_counter()
+            item = self._queue.get()
+            registry.histogram(
+                "repro_loader_stall_seconds",
+                "Consumer time blocked waiting on the prefetch "
+                "queue").observe(time.perf_counter() - t0)
         if item is _SENTINEL:
             self._finish()
             raise StopIteration
@@ -183,6 +201,13 @@ class StreamingDataLoader:
         y = self.labels[idx]
         if self.augment:
             x = augment_batch(x, self.crop_pad, self._rng)
+        registry = get_registry()
+        if registry.enabled:
+            source = "shards" if self._sharded is not None else "memory"
+            registry.counter(
+                "repro_loader_batches_total",
+                "Mini-batches produced (gather + augment)").inc(
+                    1, source=source)
         return x, y
 
     def _iter_sync(self, order: np.ndarray

@@ -326,6 +326,11 @@ class LayerTrace:
     sops: int  # synaptic operations = sum over input spikes of fan-out
     membrane: Optional[np.ndarray] = None
     backend: Optional[str] = None
+    #: How many per-chunk traces were folded into this record (1 for a
+    #: fresh single-chunk trace).  Without it, averaged statistics —
+    #: spikes/image, SOPs/image — were uncomputable from a merged trace
+    #: whose counts had been summed over an unrecorded number of chunks.
+    chunks: int = 1
 
 
 @dataclass

@@ -31,15 +31,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..obs import get_registry
 from .cache import ResultCache, run_key, scheme_digest
 from .executor import validate_backend
 from .registry import create_scheme
-from .runner import chunk_bounds, streamed_accuracy
+from .runner import chunk_bounds, record_chunk_metrics, streamed_accuracy
 
 
 @dataclass
@@ -110,7 +112,22 @@ def worker_ready() -> bool:
 
 
 def _run_chunk(chunk: np.ndarray):
-    return worker_state().run(chunk)
+    """Pool task: run one chunk, piggyback this worker's telemetry delta.
+
+    The delta is ``snapshot(reset=True)`` of the worker's registry —
+    whatever the chunk recorded since the previous task — so the parent
+    can fold worker-side counters into its own registry without a side
+    channel.  ``None`` when the worker registry is disabled, which keeps
+    the payload free under a :class:`~repro.obs.NullRegistry`.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return worker_state().run(chunk), None
+    t0 = time.perf_counter()
+    result = worker_state().run(chunk)
+    record_chunk_metrics(registry, worker_state(), len(chunk),
+                         time.perf_counter() - t0, result)
+    return result, registry.snapshot(reset=True)
 
 
 class ParallelRunner:
@@ -197,9 +214,24 @@ class ParallelRunner:
         """Run cache-missed chunks, parallel when it can pay off."""
         if not chunks:
             return []
+        registry = get_registry()
         if self.workers == 1 or len(chunks) == 1:
-            return [self.scheme.run(chunk) for chunk in chunks]
-        return self._ensure_pool().map(_run_chunk, chunks)
+            results = []
+            for chunk in chunks:
+                if not registry.enabled:
+                    results.append(self.scheme.run(chunk))
+                    continue
+                t0 = time.perf_counter()
+                result = self.scheme.run(chunk)
+                record_chunk_metrics(registry, self.scheme, len(chunk),
+                                     time.perf_counter() - t0, result)
+                results.append(result)
+            return results
+        pairs = self._ensure_pool().map(_run_chunk, chunks)
+        for _, delta in pairs:
+            if delta is not None:
+                registry.merge(delta)
+        return [result for result, _ in pairs]
 
     # ------------------------------------------------------------------
     def stream(self, images: np.ndarray) -> Iterator[Any]:
@@ -213,6 +245,8 @@ class ParallelRunner:
         results: List[Optional[Any]] = [None] * len(bounds)
         miss_idx: List[int] = []
         miss_keys: List[Optional[str]] = []
+        registry = get_registry()
+        hits = 0
         for i, (start, stop) in enumerate(bounds):
             chunk = images[start:stop]
             if self.cache is not None:
@@ -220,11 +254,22 @@ class ParallelRunner:
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
+                    hits += 1
                     continue
                 miss_keys.append(key)
             else:
                 miss_keys.append(None)
             miss_idx.append(i)
+        if self.cache is not None and registry.enabled:
+            if hits:
+                registry.counter(
+                    "repro_engine_cache_hits_total",
+                    "Result-cache hits (chunks not re-simulated)").inc(hits)
+            if miss_idx:
+                registry.counter(
+                    "repro_engine_cache_misses_total",
+                    "Result-cache misses (chunks executed)").inc(
+                        len(miss_idx))
         computed = self._execute([images[slice(*bounds[i])]
                                   for i in miss_idx])
         for i, key, result in zip(miss_idx, miss_keys, computed):

@@ -11,10 +11,12 @@ place, for every coding scheme.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import MetricsRegistry, get_registry
 from .executor import CodingScheme, LayerTrace, validate_backend
 
 
@@ -36,7 +38,9 @@ def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
     concatenate along the batch axis.  The recorded execution backend
     survives when every chunk agrees and degrades to ``"mixed"`` when
     they don't (``auto`` may legitimately pick different paths for
-    chunks of different spike density).
+    chunks of different spike density).  ``chunks`` accumulates how many
+    per-chunk traces were folded in, so averaged statistics (spikes per
+    image, SOPs per chunk) stay computable from a merged trace.
     """
     if not trace_lists:
         return []
@@ -59,8 +63,49 @@ def merge_traces(trace_lists: Sequence[List[LayerTrace]]) -> List[LayerTrace]:
             membrane=(np.concatenate(membranes, axis=0)
                       if all(m is not None for m in membranes) else None),
             backend=(backends.pop() if len(backends) == 1 else "mixed"),
+            chunks=sum(t.chunks for t in per_layer),
         ))
     return merged
+
+
+def record_chunk_metrics(registry: MetricsRegistry, scheme: Any,
+                         num_images: int, elapsed_s: float,
+                         result: Any) -> None:
+    """Record one executed chunk into ``registry`` (enabled ones only).
+
+    The single bookkeeping path behind every runner: the serial
+    :class:`PipelineRunner`, the parent-side serial fallback of
+    :class:`~repro.engine.parallel.ParallelRunner` and its pool workers
+    all report chunks/images/time plus, when the scheme produced
+    traces, per-layer spike/SOP totals and the execution backend that
+    actually ran each layer (``auto``'s per-layer choice).
+    """
+    scheme_name = type(scheme).__name__
+    registry.counter(
+        "repro_engine_chunks_total",
+        "Simulation chunks executed").inc(1, scheme=scheme_name)
+    registry.counter(
+        "repro_engine_images_total",
+        "Images simulated").inc(num_images, scheme=scheme_name)
+    registry.histogram(
+        "repro_engine_chunk_seconds",
+        "Wall time of one simulated chunk").observe(
+            elapsed_s, scheme=scheme_name)
+    traces = getattr(result, "traces", None)
+    if not traces:
+        return
+    spikes = registry.counter("repro_engine_layer_spikes_total",
+                              "Output spikes per layer")
+    sops = registry.counter("repro_engine_layer_sops_total",
+                            "Synaptic operations per layer")
+    backend_runs = registry.counter(
+        "repro_engine_layer_backend_total",
+        "Chunk executions per layer and chosen execution backend")
+    for trace in traces:
+        spikes.inc(int(trace.output_spikes), layer=trace.name)
+        sops.inc(int(trace.sops), layer=trace.name)
+        if trace.backend is not None:
+            backend_runs.inc(1, layer=trace.name, backend=trace.backend)
 
 
 def result_predictions(result: Any) -> np.ndarray:
@@ -83,7 +128,8 @@ class PipelineRunner:
     """
 
     def __init__(self, scheme: CodingScheme, max_batch: int = 64,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if backend is not None:
@@ -91,6 +137,9 @@ class PipelineRunner:
         self.scheme = scheme
         self.max_batch = max_batch
         self.backend = backend
+        # telemetry sink; ``None`` rebinds to the process-global registry
+        # on every chunk, so a set_registry() swap takes effect live
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def chunk_bounds(self, n: int) -> Iterator[tuple]:
@@ -112,14 +161,28 @@ class PipelineRunner:
         one scheme.  Schemes without backend support (the ``getattr``
         default makes the comparison succeed) are run as-is.
         """
+        registry = self.registry if self.registry is not None \
+            else get_registry()
         if (self.backend is None
                 or getattr(self.scheme, "backend", self.backend)
                 == self.backend):
-            return self.scheme.run(chunk)
+            if not registry.enabled:
+                return self.scheme.run(chunk)
+            t0 = time.perf_counter()
+            result = self.scheme.run(chunk)
+            record_chunk_metrics(registry, self.scheme, len(chunk),
+                                 time.perf_counter() - t0, result)
+            return result
         previous = self.scheme.backend
         self.scheme.backend = self.backend
         try:
-            return self.scheme.run(chunk)
+            if not registry.enabled:
+                return self.scheme.run(chunk)
+            t0 = time.perf_counter()
+            result = self.scheme.run(chunk)
+            record_chunk_metrics(registry, self.scheme, len(chunk),
+                                 time.perf_counter() - t0, result)
+            return result
         finally:
             self.scheme.backend = previous
 

@@ -1,0 +1,158 @@
+"""Exposition: Prometheus text format, JSON dumps, and a scraper parser.
+
+Three consumers, one walk over :meth:`MetricsRegistry.collect`:
+
+* :func:`render_prometheus` — the ``text/plain; version=0.0.4``
+  exposition format served at ``GET /metrics`` (``# HELP``/``# TYPE``
+  headers, one sample per label set, cumulative ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` triads for histograms);
+* :func:`registry_to_dict` — the JSON-able dump behind
+  ``repro metrics``;
+* :func:`parse_prometheus` — a parser for the subset this package
+  renders, used by the CLI scraper, the CI smoke and the round-trip
+  tests (render -> parse -> same samples).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labels, value in sorted(metric.series()):
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for edge, count in zip(metric.buckets,
+                                       value["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels, (('le', _format_value(edge)),))}"
+                        f" {cumulative}")
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(labels, (('le', '+Inf'),))}"
+                    f" {value['count']}")
+                lines.append(f"{metric.name}_sum{_format_labels(labels)} "
+                             f"{_format_value(value['sum'])}")
+                lines.append(f"{metric.name}_count{_format_labels(labels)} "
+                             f"{value['count']}")
+            else:
+                lines.append(f"{metric.name}{_format_labels(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON-able dump: every metric, series and span in plain types."""
+    metrics: Dict[str, Any] = {}
+    for metric in registry.collect():
+        series = [{"labels": dict(labels), "value": value}
+                  for labels, value in sorted(metric.series())]
+        entry: Dict[str, Any] = {"type": metric.kind, "help": metric.help,
+                                 "series": series}
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+        metrics[metric.name] = entry
+    return {"metrics": metrics, "num_spans": len(registry.spans()),
+            "span_drops": registry.span_drops}
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq].strip().lstrip(",").strip()
+        assert body[eq + 1] == '"', f"malformed label set {body!r}"
+        j = eq + 2
+        out = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                nxt = body[j + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                j += 2
+            else:
+                out.append(body[j])
+                j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text into ``{family: {type, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``;
+    histogram families keep their ``_bucket``/``_sum``/``_count``
+    samples under the family name.  Covers the subset
+    :func:`render_prometheus` emits (which is what the CLI scraper and
+    CI smoke consume); it is not a general OpenMetrics parser.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": []})
+            continue
+        if "{" in line:
+            name = line[:line.index("{")]
+            rest = line[line.index("{") + 1:]
+            label_body = rest[:rest.rindex("}")]
+            value = float(rest[rest.rindex("}") + 1:].strip()
+                          .replace("+Inf", "inf"))
+            labels = _parse_labels(label_body)
+        else:
+            name, raw = line.rsplit(None, 1)
+            labels = {}
+            value = float(raw.replace("+Inf", "inf"))
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+                break
+        families.setdefault(family, {"type": types.get(family, "untyped"),
+                                     "samples": []})
+        families[family]["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,105 @@
+"""Trace spans: nested timing records with cross-process merge.
+
+A span is one timed region of the pipeline — ``span("stage.train")``,
+``span("serve.dispatch")`` — recorded into the active registry as a
+plain dict so it rides the same picklable snapshots the metrics do.
+Nesting is tracked per thread: a span opened while another is active
+records that span's id as its ``parent_id``, and :func:`span_tree`
+rebuilds the forest afterwards.
+
+Spans from worker processes carry their own process's ids (ids embed
+the pid, so two processes can never collide) and come back through
+``MetricsRegistry.snapshot``/``merge`` exactly like counters; they have
+no parent in the merged registry and show up as additional roots —
+which is what they are: independent timelines stitched into one report.
+
+Disabled path: with a :class:`~repro.obs.metrics.NullRegistry` active,
+``span`` yields ``None`` without reading the clock at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from .metrics import MetricsRegistry, get_registry
+
+_ids = itertools.count(1)
+_stack = threading.local()
+
+
+def _next_span_id() -> str:
+    """Process-unique, monotonically increasing span id."""
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+def current_span_id() -> Optional[str]:
+    """Id of the innermost open span on this thread, if any."""
+    stack = getattr(_stack, "frames", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str, registry: Optional[MetricsRegistry] = None,
+         **meta: Any) -> Iterator[Optional[Dict[str, Any]]]:
+    """Time a region; record a span dict into the active registry.
+
+    The record carries ``name``/``span_id``/``parent_id``/``start_s``
+    (wall clock) / ``duration_s`` (monotonic) / ``pid`` plus any
+    keyword metadata.  Yields the live record so callers may attach
+    results (``rec["meta"]["images"] = n``); yields ``None`` — and
+    costs nothing — when the registry is disabled.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        yield None
+        return
+    stack = getattr(_stack, "frames", None)
+    if stack is None:
+        stack = _stack.frames = []
+    record: Dict[str, Any] = {
+        "name": name,
+        "span_id": _next_span_id(),
+        "parent_id": stack[-1] if stack else None,
+        "start_s": time.time(),
+        "duration_s": 0.0,
+        "pid": os.getpid(),
+    }
+    if meta:
+        record["meta"] = dict(meta)
+    stack.append(record["span_id"])
+    t0 = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["duration_s"] = time.perf_counter() - t0
+        stack.pop()
+        reg.record_span(record)
+
+
+def span_tree(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest flat span records into a forest of ``children`` dicts.
+
+    Roots are spans whose parent is ``None`` or absent from ``records``
+    (e.g. a worker-process span merged into the parent's registry).
+    Each node is a copy — ``{"name", "span_id", "parent_id", "start_s",
+    "duration_s", "pid", ("meta",) "children": [...]}`` — with children
+    in start order, so the result is JSON-able as-is.
+    """
+    nodes = {r["span_id"]: {**r, "children": []} for r in records}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["start_s"])
+    roots.sort(key=lambda n: n["start_s"])
+    return roots

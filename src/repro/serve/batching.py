@@ -28,14 +28,16 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import BATCH_SIZE_BUCKETS, MetricsRegistry, get_registry
 
-#: A submitted item: the image and the future its caller blocks on.
-_Item = Tuple[np.ndarray, Future]
+#: A submitted item: the image, the future its caller blocks on, and the
+#: monotonic submit time (feeds the queue-wait histogram).
+_Item = Tuple[np.ndarray, Future, float]
 
 
 class BatcherClosed(ReproError):
@@ -52,7 +54,9 @@ class MicroBatcher:
     """
 
     def __init__(self, predict_fn: Callable, max_batch: int,
-                 max_wait_s: float = 0.005):
+                 max_wait_s: float = 0.005,
+                 registry: Optional[MetricsRegistry] = None,
+                 labels: Optional[Dict[str, str]] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
@@ -60,6 +64,11 @@ class MicroBatcher:
         self.predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        # telemetry sink; None rebinds to the process-global registry on
+        # every dispatch.  ``labels`` tags this batcher's series (the
+        # fleet passes {"model": ..., "worker": ...}).
+        self.registry = registry
+        self.labels = dict(labels or {})
         self.num_batches = 0
         self.num_items = 0
         self._pending = 0
@@ -90,7 +99,7 @@ class MicroBatcher:
         :class:`BatcherClosed`.
         """
         future: Future = Future()
-        item = (np.asarray(image), future)
+        item = (np.asarray(image), future, time.monotonic())
         with self._lock:
             if self._closed:
                 raise BatcherClosed("MicroBatcher is closed")
@@ -126,7 +135,7 @@ class MicroBatcher:
                 return
             if item is None:
                 continue
-            _, future = item
+            _, future, _ = item
             if future.set_running_or_notify_cancel():
                 future.set_exception(
                     BatcherClosed("MicroBatcher closed before dispatch"))
@@ -166,18 +175,44 @@ class MicroBatcher:
             pending = self._collect()
             if not pending:
                 return
-            batch = np.stack([image for image, _ in pending])
+            batch = np.stack([image for image, _, _ in pending])
+            t_dispatch = time.monotonic()
             try:
                 result = self.predict_fn(batch)
             except Exception as exc:     # noqa: BLE001 — fan the error out
-                for _, future in pending:
+                for _, future, _ in pending:
                     future.set_exception(exc)
                 with self._lock:
                     self._pending -= len(pending)
                 continue
+            t_done = time.monotonic()
             self.num_batches += 1
             self.num_items += len(pending)
-            for i, (_, future) in enumerate(pending):
+            self._record_batch(pending, t_dispatch, t_done)
+            for i, (_, future, _) in enumerate(pending):
                 future.set_result((int(result.predictions[i]), result))
             with self._lock:
                 self._pending -= len(pending)
+
+    def _record_batch(self, pending: List[_Item], t_dispatch: float,
+                      t_done: float) -> None:
+        """Record one dispatched batch: size, execute time, queue waits."""
+        registry = self.registry if self.registry is not None \
+            else get_registry()
+        if not registry.enabled:
+            return
+        registry.histogram(
+            "repro_batcher_batch_size",
+            "Images coalesced per dispatched batch",
+            buckets=BATCH_SIZE_BUCKETS).observe(
+                len(pending), **self.labels)
+        registry.histogram(
+            "repro_batcher_execute_seconds",
+            "predict_fn wall time per dispatched batch").observe(
+                t_done - t_dispatch, **self.labels)
+        queue_wait = registry.histogram(
+            "repro_batcher_queue_wait_seconds",
+            "Submit-to-dispatch wait per image")
+        for _, _, t_submit in pending:
+            queue_wait.observe(max(0.0, t_dispatch - t_submit),
+                               **self.labels)

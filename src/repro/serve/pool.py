@@ -34,10 +34,12 @@ import multiprocessing
 import os
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..engine.parallel import init_worker_state, worker_ready, worker_state
 from ..errors import ReproError
+from ..obs import get_registry
 from .artifact import ModelArtifact
 from .batching import MicroBatcher
 
@@ -79,8 +81,19 @@ class SessionSpec:
 
 
 def _predict_in_worker(batch):
-    """Pool task: one batched dispatch on this process's warm session."""
-    return worker_state().predict(batch)
+    """Pool task: one batched dispatch on this process's warm session.
+
+    Returns ``(prediction, telemetry_delta)``: the worker's registry is
+    snapshot-and-reset after each dispatch so whatever the session's
+    runner recorded (chunk counts, per-layer spikes) rides the result
+    pickle back to the parent, which merges it.  ``None`` delta when the
+    worker's registry is disabled.
+    """
+    registry = get_registry()
+    prediction = worker_state().predict(batch)
+    if not registry.enabled:
+        return prediction, None
+    return prediction, registry.snapshot(reset=True)
 
 
 class WorkerPool:
@@ -111,6 +124,9 @@ class WorkerPool:
         artifact = ModelArtifact.load(spec.path)    # fail fast, in-parent
         self.spec = spec
         self.workers = workers
+        # same label the server's channel uses for this bundle, so fleet
+        # metrics and /healthz speak about one model the same way
+        self.label = "/".join(Path(spec.path).parts[-2:])
         self.scheme_name = resolve_scheme_name(spec.scheme
                                                or artifact.scheme)
         self.backend = validate_backend(spec.backend or artifact.backend)
@@ -135,8 +151,9 @@ class WorkerPool:
                 f"({workers} worker(s)): {exc}") from exc
         self._batchers = [
             MicroBatcher(self._dispatch, self.max_batch,
-                         max_wait_s=batch_wait_s)
-            for _ in range(workers)
+                         max_wait_s=batch_wait_s,
+                         labels={"model": self.label, "worker": str(i)})
+            for i in range(workers)
         ]
 
     # ------------------------------------------------------------------
@@ -146,7 +163,11 @@ class WorkerPool:
             pool = self._pool
         if pool is None:
             raise WorkerPoolError("worker pool is closed")
-        return pool.apply_async(_predict_in_worker, (batch,)).get()
+        prediction, delta = pool.apply_async(
+            _predict_in_worker, (batch,)).get()
+        if delta is not None:
+            get_registry().merge(delta)
+        return prediction
 
     def predict(self, batch):
         """Direct batched dispatch (parity tests, benchmarks)."""
@@ -154,8 +175,15 @@ class WorkerPool:
 
     def submit(self, image):
         """Enqueue one image on the least-loaded worker's batcher."""
-        batcher = min(self._batchers, key=lambda b: b.pending)
-        return batcher.submit(image)
+        index = min(range(len(self._batchers)),
+                    key=lambda i: self._batchers[i].pending)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_pool_submitted_total",
+                "Images routed to a fleet worker's batcher").inc(
+                    1, model=self.label, worker=str(index))
+        return self._batchers[index].submit(image)
 
     @property
     def pending(self) -> int:
@@ -174,7 +202,16 @@ class WorkerPool:
             "pending": self.pending,
             "num_dispatches": sum(b.num_batches for b in self._batchers),
             "num_images": sum(b.num_items for b in self._batchers),
+            "per_worker": self.per_worker_stats(),
         }
+
+    def per_worker_stats(self) -> List[Dict[str, Any]]:
+        """One dict per worker: queue depth and served counts."""
+        return [
+            {"worker": i, "pending": b.pending,
+             "num_dispatches": b.num_batches, "num_images": b.num_items}
+            for i, b in enumerate(self._batchers)
+        ]
 
     def close(self) -> None:
         """Drain the batchers, then terminate the workers (idempotent)."""

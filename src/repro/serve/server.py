@@ -25,9 +25,14 @@ Three fleet behaviours live at this layer:
 Protocol (JSON request/response):
 
 ``GET /healthz``
-    ``{"status": "ok", "models": [...names...], "sessions": {...stats}}``
+    ``{"status": "ok", "models": [...names...], "sessions": {...stats},
+    "channels": {label: {requests, shed, pending}}}``
 ``GET /models``
     registry listing: name, versions, aliases, scheme, backend, ...
+``GET /metrics``
+    the process-global :mod:`repro.obs` registry in Prometheus text
+    exposition format (request counters, latency/batch-size histograms,
+    per-worker fleet counters merged from worker snapshots)
 ``POST /predict``
     body ``{"model": "name[:version|alias]", "inputs": [CHW, ...]}`` →
     ``{"model": ..., "predictions": [int, ...], "metrics": {...}}``
@@ -49,6 +54,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import PROMETHEUS_CONTENT_TYPE, get_registry, render_prometheus
 from .artifact import ArtifactError
 from .batching import BatcherClosed, MicroBatcher
 from .pool import SessionSpec, WorkerPool, WorkerPoolError
@@ -155,7 +161,9 @@ class _ModelChannel:
                 mmap=server.mmap)
             self._batcher = MicroBatcher(self._session.predict,
                                          self._session.max_batch,
-                                         max_wait_s=server.batch_wait_s)
+                                         max_wait_s=server.batch_wait_s,
+                                         labels={"model": self.label,
+                                                 "worker": "0"})
             self.scheme_name = self._session.scheme_name
             self.backend = self._session.backend
 
@@ -352,27 +360,77 @@ class PredictionServer:
             retired.close()      # drains in-flight, then frees the bundle
         return channel
 
-    def _record_request(self) -> None:
+    def _record_request(self, label: Optional[str] = None) -> None:
         """Count one served request (handler threads race; lock it)."""
         with self._lock:
             self.num_requests += 1
+        registry = get_registry()
+        if registry.enabled and label is not None:
+            registry.counter(
+                "repro_serve_requests_total",
+                "Served /predict requests per model channel").inc(
+                    1, model=label)
 
-    def _record_shed(self) -> None:
+    def _record_shed(self, label: Optional[str] = None) -> None:
         with self._lock:
             self.num_shed += 1
+        registry = get_registry()
+        if registry.enabled and label is not None:
+            registry.counter(
+                "repro_serve_shed_total",
+                "Requests shed by the admission bound, per model "
+                "channel").inc(1, model=label)
 
     # -- request handling (transport-free, unit-testable) --------------
     def handle_health(self) -> Tuple[int, Dict[str, Any]]:
         with self._lock:
-            stats = {path: channel.stats()
-                     for path, channel in self._channels.items()}
+            channels = dict(self._channels)
+        stats = {path: channel.stats()
+                 for path, channel in channels.items()}
+        registry = get_registry()
+        per_channel = {
+            channel.label: {
+                "requests": int(registry.value(
+                    "repro_serve_requests_total", model=channel.label)),
+                "shed": int(registry.value(
+                    "repro_serve_shed_total", model=channel.label)),
+                "pending": channel.admission.pending,
+            }
+            for channel in channels.values()
+        }
         return 200, {"status": "ok", "protocol_version": PROTOCOL_VERSION,
                      "models": self.registry.names(),
                      "num_requests": self.num_requests,
                      "num_shed": self.num_shed,
                      "workers": self.workers,
                      "max_queue": self.max_queue,
-                     "sessions": stats}
+                     "sessions": stats,
+                     "channels": per_channel}
+
+    def handle_metrics(self) -> Tuple[int, str]:
+        """``GET /metrics``: the registry in Prometheus text format.
+
+        Queue-depth gauges are refreshed at scrape time (they are levels,
+        not events — sampling at exposition is the idiomatic shape).
+        """
+        registry = get_registry()
+        if registry.enabled:
+            with self._lock:
+                channels = list(self._channels.values())
+            pending = registry.gauge(
+                "repro_serve_pending",
+                "Images admitted to a model channel, not yet resolved")
+            pool_pending = registry.gauge(
+                "repro_pool_pending",
+                "Images queued on one fleet worker's batcher")
+            for channel in channels:
+                pending.set(channel.admission.pending, model=channel.label)
+                if channel._pool is not None:
+                    for entry in channel._pool.per_worker_stats():
+                        pool_pending.set(entry["pending"],
+                                         model=channel.label,
+                                         worker=str(entry["worker"]))
+        return 200, render_prometheus(registry)
 
     def handle_models(self) -> Tuple[int, Dict[str, Any]]:
         try:
@@ -421,7 +479,7 @@ class PredictionServer:
                 futures = channel.submit_many(inputs)
                 break
             except ServerOverloaded as exc:
-                self._record_shed()
+                self._record_shed(channel.label)
                 return 503, {"error": str(exc),
                              "retry_after_s": exc.retry_after_s}
             except BatcherClosed:
@@ -433,19 +491,42 @@ class PredictionServer:
             outcomes = [future.result(timeout=600) for future in futures]
         except Exception as exc:  # noqa: BLE001 — report, don't crash
             return 500, {"error": f"prediction failed: {exc}"}
-        latency = time.perf_counter() - t0
-        self._record_request()
+        wall = time.perf_counter() - t0
+        self._record_request(channel.label)
         predictions = [class_id for class_id, _ in outcomes]
         # one entry per distinct dispatched micro-batch this request
         # rode in (identity-keyed: each dispatch builds one Prediction)
         batches = list({id(batch): batch
                         for _, batch in outcomes}.values())
+        # latency decomposition: execute is what the simulator dispatches
+        # actually cost, queue wait is everything else this request spent
+        # (admission, coalescing, waiting behind other batches); their
+        # sum is reported as latency_s so existing consumers keep a
+        # single end-to-end number that equals its published parts
+        execute_s = sum(b.latency_s for b in batches)
+        queue_wait_s = max(0.0, wall - execute_s)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_serve_request_seconds",
+                "End-to-end /predict wall time").observe(
+                    wall, model=channel.label)
+            registry.histogram(
+                "repro_serve_queue_wait_seconds",
+                "Non-execute share of /predict wall time").observe(
+                    queue_wait_s, model=channel.label)
+            registry.histogram(
+                "repro_serve_execute_seconds",
+                "Simulator share of /predict wall time").observe(
+                    execute_s, model=channel.label)
         spikes = [b.total_spikes for b in batches]
         sops = [b.total_sops for b in batches]
         layer_backends = merge_layer_backends(
             [b.layer_backends for b in batches])
         metrics = {
-            "latency_s": latency,
+            "latency_s": queue_wait_s + execute_s,
+            "queue_wait_s": queue_wait_s,
+            "execute_s": execute_s,
             "num_inputs": len(inputs),
             "num_batches": len(batches),
             "batch_sizes": [b.batch_size for b in batches],
@@ -480,15 +561,28 @@ def _make_handler(server: PredictionServer):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, status: int, body: str,
+                        content_type: str) -> None:
+            data = body.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
         def do_GET(self):  # noqa: N802 — http.server API
             if self.path == "/healthz":
                 self._reply(*server.handle_health())
             elif self.path == "/models":
                 self._reply(*server.handle_models())
+            elif self.path == "/metrics":
+                status, body = server.handle_metrics()
+                self._reply_text(status, body, PROMETHEUS_CONTENT_TYPE)
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}; "
                                            "endpoints: GET /healthz, "
-                                           "GET /models, POST /predict"})
+                                           "GET /metrics, GET /models, "
+                                           "POST /predict"})
 
         def do_POST(self):  # noqa: N802 — http.server API
             if self.path != "/predict":

@@ -73,7 +73,7 @@ class TestEndToEnd:
     def test_report_is_structured_and_json_able(self, tiny_dataset):
         report = run_micro(micro_config(), dataset=tiny_dataset)
         payload = report.to_dict()
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 2
         assert payload["name"] == "e2e"
         assert payload["config"]["train"]["epochs"] == 1
         assert [s["name"] for s in payload["stages"]] == \

@@ -1,0 +1,73 @@
+"""Experiment telemetry: span trees on reports, stage counters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import Experiment, ExperimentConfig, PipelineContext
+from repro.api.config import SimulateConfig, TrainConfig
+from repro.engine import ResultCache
+from repro.obs import MetricsRegistry, NullRegistry, use_registry
+
+
+def micro_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="spans",
+        train=TrainConfig(window=6, epochs=1, relu_epochs=1),
+        simulate=SimulateConfig(max_batch=8, limit=8),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def run_micro(config, cache=None, dataset=None):
+    ctx = PipelineContext(config=config, dataset=dataset)
+    return Experiment(config, cache=cache).run(context=ctx)
+
+
+class TestReportSpans:
+    def test_report_carries_the_stage_span_tree(self, tiny_dataset):
+        with use_registry(MetricsRegistry()):
+            report = run_micro(micro_config(), dataset=tiny_dataset)
+        roots = [r for r in report.spans
+                 if r["name"] == "experiment.spans"]
+        assert len(roots) == 1
+        stage_names = [c["name"] for c in roots[0]["children"]]
+        assert stage_names == [f"stage.{s.name}" for s in report.stages]
+        assert all(c["duration_s"] >= 0 for c in roots[0]["children"])
+        assert all(c["meta"]["status"] == "completed"
+                   for c in roots[0]["children"])
+        # the tree is part of to_dict and JSON-able
+        payload = report.to_dict()
+        assert json.loads(json.dumps(payload))["spans"] == report.spans
+
+    def test_cached_stages_span_as_cached(self, tiny_dataset, tmp_path):
+        config = micro_config()
+        cache = ResultCache(tmp_path)
+        with use_registry(MetricsRegistry()):
+            run_micro(config, cache=cache, dataset=tiny_dataset)
+        with use_registry(MetricsRegistry()) as reg:
+            report = run_micro(config, cache=cache, dataset=tiny_dataset)
+        (root,) = [r for r in report.spans
+                   if r["name"] == "experiment.spans"]
+        assert all(c["meta"]["status"] == "cached"
+                   for c in root["children"])
+        hits = sum(reg.value("repro_stage_cache_total",
+                             stage=s.name, outcome="hit")
+                   for s in report.stages)
+        assert hits == len(report.stages)
+
+    def test_stage_counters_and_histograms(self, tiny_dataset):
+        with use_registry(MetricsRegistry()) as reg:
+            report = run_micro(micro_config(), dataset=tiny_dataset)
+        for stage in report.stages:
+            assert reg.value("repro_stage_cache_total",
+                             stage=stage.name, outcome="miss") == 1
+            assert reg.value("repro_stage_seconds",
+                             stage=stage.name)["count"] == 1
+
+    def test_disabled_registry_leaves_spans_empty(self, tiny_dataset):
+        with use_registry(NullRegistry()):
+            report = run_micro(micro_config(), dataset=tiny_dataset)
+        assert report.spans == []
+        assert report.to_dict()["spans"] == []

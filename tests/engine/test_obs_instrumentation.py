@@ -1,0 +1,104 @@
+"""Engine telemetry: chunk/layer counters, trace chunk counts, and the
+worker snapshot-delta path of the parallel runner."""
+
+from __future__ import annotations
+
+from repro.engine import (
+    ParallelRunner,
+    PipelineRunner,
+    ResultCache,
+    SchemeSpec,
+)
+from repro.engine.executor import LayerTrace
+from repro.engine.runner import merge_traces
+from repro.obs import MetricsRegistry, use_registry
+from repro.snn import EventDrivenTTFSNetwork
+
+
+def _trace(chunks=1):
+    return LayerTrace(name="conv0", input_spikes=2, output_spikes=3,
+                      neurons=4, sops=8, chunks=chunks)
+
+
+class TestMergedTraceChunkCounts:
+    def test_chunks_default_to_one(self):
+        assert _trace().chunks == 1
+
+    def test_merge_sums_chunk_counts(self):
+        merged = merge_traces([[_trace()], [_trace()], [_trace()]])
+        assert merged[0].chunks == 3
+        # the satellite's point: averaged metrics are computable from a
+        # merged trace alone
+        assert merged[0].sops / merged[0].chunks == 8.0
+
+    def test_remerging_merged_traces_accumulates(self):
+        first = merge_traces([[_trace()], [_trace()]])
+        second = merge_traces([first, [_trace()]])
+        assert second[0].chunks == 3
+
+
+class TestRunnerInstrumentation:
+    def test_serial_runner_records_chunks_images_and_layers(
+            self, converted_micro, tiny_dataset):
+        x = tiny_dataset.test_x[:10]
+        scheme = EventDrivenTTFSNetwork(converted_micro)
+        reg = MetricsRegistry()
+        PipelineRunner(scheme, max_batch=4, registry=reg).run(x)
+        scheme_name = type(scheme).__name__
+        assert reg.value("repro_engine_chunks_total",
+                         scheme=scheme_name) == 3
+        assert reg.value("repro_engine_images_total",
+                         scheme=scheme_name) == 10
+        hist = reg.value("repro_engine_chunk_seconds", scheme=scheme_name)
+        assert hist["count"] == 3
+        first_layer = scheme.run(x[:1]).traces[0]
+        assert reg.value("repro_engine_layer_spikes_total",
+                         layer=first_layer.name) > 0
+
+    def test_injected_registry_overrides_global(self, converted_micro,
+                                                tiny_dataset):
+        x = tiny_dataset.test_x[:4]
+        scheme = EventDrivenTTFSNetwork(converted_micro)
+        private = MetricsRegistry()
+        with use_registry(MetricsRegistry()) as global_reg:
+            PipelineRunner(scheme, max_batch=4, registry=private).run(x)
+        assert private.value("repro_engine_chunks_total",
+                             scheme=type(scheme).__name__) == 1
+        assert global_reg.collect() == []
+
+    def test_parallel_serial_fallback_records(self, converted_micro,
+                                              tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        spec = SchemeSpec("ttfs-closed-form", converted_micro)
+        with use_registry(MetricsRegistry()) as reg:
+            with ParallelRunner(spec, max_batch=4, workers=1) as runner:
+                runner.run(x)
+        assert reg.value("repro_engine_images_total",
+                         scheme="EventDrivenTTFSNetwork") == 8
+
+    def test_worker_deltas_merge_into_parent(self, converted_micro,
+                                             tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        spec = SchemeSpec("ttfs-closed-form", converted_micro)
+        with use_registry(MetricsRegistry()) as reg:
+            with ParallelRunner(spec, max_batch=2, workers=2) as runner:
+                runner.run(x)
+        # four chunks executed somewhere across the two workers; their
+        # snapshot deltas must sum to the whole batch in the parent
+        assert reg.value("repro_engine_images_total",
+                         scheme="EventDrivenTTFSNetwork") == 8
+        assert reg.value("repro_engine_chunks_total",
+                         scheme="EventDrivenTTFSNetwork") == 4
+
+    def test_cache_hits_and_misses_counted(self, converted_micro,
+                                           tiny_dataset, tmp_path):
+        x = tiny_dataset.test_x[:8]
+        spec = SchemeSpec("ttfs-closed-form", converted_micro)
+        cache = ResultCache(tmp_path)
+        with use_registry(MetricsRegistry()) as reg:
+            with ParallelRunner(spec, max_batch=4, workers=1,
+                                cache=cache) as runner:
+                runner.run(x)
+                runner.run(x)
+        assert reg.value("repro_engine_cache_misses_total") == 2
+        assert reg.value("repro_engine_cache_hits_total") == 2

@@ -1,0 +1,98 @@
+"""Prometheus rendering, JSON dumps, and render -> parse round-trips."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    registry_to_dict,
+    render_prometheus,
+    span,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", "served requests").inc(
+        3, model="micro/v1")
+    reg.counter("repro_requests_total").inc(1, model="micro/v2")
+    reg.gauge("repro_pending", "in flight").set(2, model="micro/v1")
+    h = reg.histogram("repro_latency_seconds", "request latency",
+                      buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v, model="micro/v1")
+    return reg
+
+
+class TestRender:
+    def test_help_type_and_samples(self):
+        text = render_prometheus(populated_registry())
+        assert "# HELP repro_requests_total served requests" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{model="micro/v1"} 3' in text
+        assert 'repro_pending{model="micro/v1"} 2' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(populated_registry())
+        assert 'repro_latency_seconds_bucket{model="micro/v1",le="0.1"} 1' \
+            in text
+        assert 'repro_latency_seconds_bucket{model="micro/v1",le="1"} 2' \
+            in text
+        assert ('repro_latency_seconds_bucket{model="micro/v1",le="+Inf"}'
+                " 3") in text
+        assert 'repro_latency_seconds_count{model="micro/v1"} 3' in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, path='a"b\\c\nd')
+        text = render_prometheus(reg)
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestParseRoundTrip:
+    def test_render_parse_recovers_every_sample(self):
+        reg = populated_registry()
+        families = parse_prometheus(render_prometheus(reg))
+        counter = families["repro_requests_total"]
+        assert counter["type"] == "counter"
+        assert (("repro_requests_total", {"model": "micro/v1"}, 3.0)
+                in counter["samples"])
+        hist = families["repro_latency_seconds"]
+        assert hist["type"] == "histogram"
+        by_name = {}
+        for name, labels, value in hist["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        assert ({"model": "micro/v1"}, 3.0) in by_name[
+            "repro_latency_seconds_count"]
+        inf_buckets = [v for labels, v in by_name[
+            "repro_latency_seconds_bucket"] if labels["le"] == "+Inf"]
+        assert inf_buckets == [3.0]
+
+    def test_escaped_labels_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, path='a"b\\c\nd')
+        families = parse_prometheus(render_prometheus(reg))
+        ((_, labels, value),) = families["c"]["samples"]
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1.0
+
+
+class TestRegistryToDict:
+    def test_json_able_and_complete(self):
+        reg = populated_registry()
+        with span("x", registry=reg):
+            pass
+        dump = registry_to_dict(reg)
+        assert json.loads(json.dumps(dump)) == dump
+        assert dump["num_spans"] == 1
+        assert dump["span_drops"] == 0
+        hist = dump["metrics"]["repro_latency_seconds"]
+        assert hist["buckets"] == [0.1, 1.0]
+        ((series),) = [s for s in hist["series"]
+                       if s["labels"] == {"model": "micro/v1"}]
+        assert series["value"]["count"] == 3

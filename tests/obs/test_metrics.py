@@ -1,0 +1,192 @@
+"""Registry behaviour: instruments, labels, snapshots, merge, null."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MAX_SPANS,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "served requests")
+        c.inc()
+        c.inc(2, model="a")
+        c.inc(3, model="a")
+        assert c.value() == 1
+        assert c.value(model="a") == 5
+        assert c.value(model="never") == 0
+
+    def test_counter_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+    def test_histogram_counts_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        got = h.value()
+        assert got["count"] == 4
+        assert got["sum"] == pytest.approx(555.5)
+        # (-inf,1], (1,10], overflow
+        assert got["counts"] == [1, 1, 2]
+
+    def test_histogram_edges_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_log_spaced_and_shared(self):
+        assert len(DEFAULT_LATENCY_BUCKETS) == 19
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(1e2)
+        assert BATCH_SIZE_BUCKETS[0] == 1.0
+        assert BATCH_SIZE_BUCKETS[-1] == 1024.0
+
+    def test_same_name_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_picklable_and_merges_additively(self):
+        worker = MetricsRegistry()
+        worker.counter("chunks_total").inc(3)
+        worker.histogram("lat").observe(0.01)
+        snap = pickle.loads(pickle.dumps(worker.snapshot()))
+
+        parent = MetricsRegistry()
+        parent.counter("chunks_total").inc(10)
+        parent.merge(snap)
+        assert parent.value("chunks_total") == 13
+        assert parent.value("lat")["count"] == 1
+
+    def test_reset_snapshot_is_a_drain(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        first = reg.snapshot(reset=True)
+        second = reg.snapshot(reset=True)
+        assert first["metrics"]["c"]["state"] != {}
+        assert second["metrics"]["c"]["state"] == {}
+        # repeated merges of drained deltas never double-count
+        parent = MetricsRegistry()
+        parent.merge(first)
+        parent.merge(second)
+        assert parent.value("c") == 5
+
+    def test_merge_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(3)
+        b.gauge("depth").set(7)
+        a.merge(b.snapshot())
+        assert a.value("depth") == 7
+
+    def test_merge_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,))
+        snap = b.snapshot()
+        snap["metrics"]["h"]["state"] = {(): [[1, 2, 3], 1.0]}
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(snap)
+
+    def test_merge_tolerates_junk(self):
+        reg = MetricsRegistry()
+        reg.merge(None)
+        reg.merge({})
+        assert reg.collect() == []
+
+    def test_span_log_is_bounded_with_drop_count(self):
+        reg = MetricsRegistry()
+        for i in range(MAX_SPANS + 5):
+            reg.record_span({"span_id": str(i), "start_s": float(i)})
+        assert len(reg.spans()) == MAX_SPANS
+        assert reg.span_drops == 5
+        assert reg.spans()[0]["span_id"] == "5"
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestNullRegistry:
+    def test_everything_is_a_no_op(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(0.1)
+        reg.record_span({"span_id": "x"})
+        assert reg.collect() == []
+        assert reg.spans() == []
+        assert reg.snapshot()["metrics"] == {}
+        reg.merge(MetricsRegistry().snapshot())
+        assert reg.collect() == []
+
+    def test_null_instruments_are_one_shared_object(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.histogram("b")
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        current = get_registry()
+        replacement = MetricsRegistry()
+        try:
+            assert set_registry(replacement) is current
+            assert get_registry() is replacement
+        finally:
+            set_registry(current)
+
+    def test_use_registry_restores_on_exit(self):
+        before = get_registry()
+        with use_registry(MetricsRegistry()) as reg:
+            reg.counter("x").inc()
+            assert get_registry() is reg
+        assert get_registry() is before

@@ -1,0 +1,154 @@
+"""Disabled-telemetry cost: the <2% overhead contract, pinned.
+
+Two layers of defence:
+
+* an **analytic** bound — count the telemetry touch points a micro
+  ``PipelineRunner.accuracy`` run executes under a
+  :class:`~repro.obs.NullRegistry`, measure the per-touch cost of the
+  disabled path directly, and assert touches x cost stays under 2% of
+  the measured run.  This is the hard assert: it is immune to CI noise
+  because both sides of the comparison are measured the same way.
+* a **wall-clock A/B** sanity check at a deliberately loose threshold,
+  catching only catastrophic regressions (e.g. instrumentation that
+  does real work before consulting ``registry.enabled``).
+
+Plus hypothesis round-trips for the property the cross-process path
+depends on: histogram state split across any number of process
+snapshots must merge to exactly the single-process histogram.
+"""
+
+from __future__ import annotations
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import PipelineRunner
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    use_registry,
+)
+from repro.snn import EventDrivenTTFSNetwork
+
+
+def _timed_accuracy(runner, x, y, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        runner.accuracy(x, y)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestDisabledOverhead:
+    def test_null_path_costs_under_two_percent(self, converted_micro,
+                                               tiny_dataset):
+        x, y = tiny_dataset.test_x[:24], tiny_dataset.test_y[:24]
+        max_batch = 4
+        chunks = -(-len(x) // max_batch)
+        scheme = EventDrivenTTFSNetwork(converted_micro)
+        null = NullRegistry()
+        runner = PipelineRunner(scheme, max_batch=max_batch, registry=null)
+        run_s = _timed_accuracy(runner, x, y)
+
+        # the disabled path per chunk: resolve the registry, read
+        # .enabled, branch.  Measure that exact sequence.
+        probes = 10_000
+        t0 = time.perf_counter()
+        for _ in range(probes):
+            registry = runner.registry if runner.registry is not None \
+                else None
+            if registry.enabled:
+                raise AssertionError("null registry reports enabled")
+        per_touch_s = (time.perf_counter() - t0) / probes
+
+        telemetry_s = chunks * per_touch_s
+        assert telemetry_s < 0.02 * run_s, (
+            f"disabled telemetry costs {telemetry_s:.2e}s of a "
+            f"{run_s:.2e}s run ({100 * telemetry_s / run_s:.3f}%)")
+
+    def test_null_vs_enabled_ab_is_sane(self, converted_micro,
+                                        tiny_dataset):
+        # loose A/B: the *disabled* run must not be grossly slower than
+        # the fully-recording run (which does strictly more work); that
+        # only fails if the disabled path starts doing real work
+        x, y = tiny_dataset.test_x[:24], tiny_dataset.test_y[:24]
+        scheme = EventDrivenTTFSNetwork(converted_micro)
+        null_runner = PipelineRunner(scheme, max_batch=4,
+                                     registry=NullRegistry())
+        live_runner = PipelineRunner(scheme, max_batch=4,
+                                     registry=MetricsRegistry())
+        t_null = _timed_accuracy(null_runner, x, y)
+        t_live = _timed_accuracy(live_runner, x, y)
+        assert t_null < 1.5 * t_live
+
+    def test_null_registry_records_nothing_through_a_run(
+            self, converted_micro, tiny_dataset):
+        x, y = tiny_dataset.test_x[:8], tiny_dataset.test_y[:8]
+        scheme = EventDrivenTTFSNetwork(converted_micro)
+        with use_registry(NullRegistry()) as reg:
+            PipelineRunner(scheme, max_batch=4).accuracy(x, y)
+        assert reg.collect() == []
+        assert reg.spans() == []
+
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+              allow_infinity=False),
+    max_size=60)
+
+
+class TestHistogramMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(chunks=st.lists(observations, max_size=5))
+    def test_split_snapshots_merge_to_single_process_histogram(
+            self, chunks):
+        # one process observing everything...
+        reference = MetricsRegistry()
+        ref_h = reference.histogram("lat")
+        for chunk in chunks:
+            for v in chunk:
+                ref_h.observe(v)
+        # ...must equal N worker snapshots merged into a parent
+        parent = MetricsRegistry()
+        for chunk in chunks:
+            worker = MetricsRegistry()
+            h = worker.histogram("lat")
+            for v in chunk:
+                h.observe(v)
+            parent.merge(worker.snapshot(reset=True))
+        if not any(chunks):
+            return
+        got, want = parent.value("lat"), reference.value("lat")
+        assert got["counts"] == want["counts"]
+        assert got["count"] == want["count"]
+        assert abs(got["sum"] - want["sum"]) <= 1e-6 * max(1.0, want["sum"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=observations)
+    def test_bucket_counts_always_total_to_observations(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+        for v in values:
+            h.observe(v)
+        got = reg.value("lat")
+        assert sum(got["counts"]) == len(values) == got["count"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=observations)
+    def test_merge_is_idempotent_under_drained_deltas(self, values):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        h = worker.histogram("lat")
+        for v in values:
+            h.observe(v)
+        parent.merge(worker.snapshot(reset=True))
+        # the drained worker's next delta is empty: merging it twice
+        # must not change anything
+        empty = worker.snapshot(reset=True)
+        parent.merge(empty)
+        parent.merge(empty)
+        assert parent.value("lat")["count"] == len(values)

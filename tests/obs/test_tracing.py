@@ -1,0 +1,93 @@
+"""Span semantics: nesting, cross-process merge shape, disabled path."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    current_span_id,
+    span,
+    span_tree,
+)
+
+
+class TestSpan:
+    def test_records_name_timing_and_pid(self):
+        reg = MetricsRegistry()
+        with span("stage.train", registry=reg):
+            time.sleep(0.001)
+        (rec,) = reg.spans()
+        assert rec["name"] == "stage.train"
+        assert rec["duration_s"] >= 0.001
+        assert rec["parent_id"] is None
+        assert rec["span_id"].startswith(f"{rec['pid']:x}-")
+
+    def test_nesting_records_parent_ids(self):
+        reg = MetricsRegistry()
+        with span("outer", registry=reg) as outer:
+            assert current_span_id() == outer["span_id"]
+            with span("inner", registry=reg):
+                pass
+        assert current_span_id() is None
+        inner, outer_rec = sorted(reg.spans(), key=lambda r: r["name"])
+        assert inner["parent_id"] == outer_rec["span_id"]
+
+    def test_meta_kwargs_are_attached(self):
+        reg = MetricsRegistry()
+        with span("simulate", registry=reg, images=64):
+            pass
+        assert reg.spans()[0]["meta"] == {"images": 64}
+
+    def test_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        try:
+            with span("boom", registry=reg):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert current_span_id() is None
+        assert len(reg.spans()) == 1
+
+    def test_disabled_registry_yields_none_and_records_nothing(self):
+        reg = NullRegistry()
+        with span("off", registry=reg) as rec:
+            assert rec is None
+        assert reg.spans() == []
+
+
+class TestSpanTree:
+    def test_builds_nested_forest_in_start_order(self):
+        reg = MetricsRegistry()
+        with span("root", registry=reg):
+            with span("a", registry=reg):
+                pass
+            with span("b", registry=reg):
+                pass
+        (root,) = span_tree(reg.spans())
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["a", "b"]
+
+    def test_orphan_parents_become_roots(self):
+        # a worker's span merged into the parent registry: its parent id
+        # names a span that is not in the merged record set
+        records = [
+            {"span_id": "1-1", "parent_id": None, "name": "parent",
+             "start_s": 0.0},
+            {"span_id": "2-1", "parent_id": "2-0", "name": "worker",
+             "start_s": 1.0},
+        ]
+        roots = span_tree(records)
+        assert [r["name"] for r in roots] == ["parent", "worker"]
+
+    def test_worker_spans_survive_snapshot_merge(self):
+        worker = MetricsRegistry()
+        with span("worker.chunk", registry=worker):
+            pass
+        parent = MetricsRegistry()
+        with span("parent.run", registry=parent):
+            parent.merge(worker.snapshot(reset=True))
+        names = {r["name"] for r in parent.spans()}
+        assert names == {"worker.chunk", "parent.run"}
+        assert len(span_tree(parent.spans())) == 2

@@ -1,0 +1,128 @@
+"""GET /metrics: scrape shape, latency split, healthz channel counters,
+per-worker fleet series merged from worker snapshots."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    use_registry,
+)
+from repro.serve import PredictionServer, predict_remote, server_health
+
+
+def scrape(url: str):
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as response:
+        return response.headers.get("Content-Type"), \
+            response.read().decode()
+
+
+def samples(families, family):
+    return families[family]["samples"]
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def server(self, micro_registry):
+        with use_registry(MetricsRegistry()):
+            with PredictionServer(micro_registry, warmup=False,
+                                  batch_wait_s=0.0) as srv:
+                yield srv
+
+    def test_scrape_before_traffic_is_parseable(self, server):
+        content_type, text = scrape(server.url)
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        parse_prometheus(text)      # must not raise
+
+    def test_counters_and_histograms_appear_after_predictions(
+            self, server, tiny_dataset):
+        predict_remote(server.url, "micro", tiny_dataset.test_x[:3])
+        predict_remote(server.url, "micro", tiny_dataset.test_x[3:5])
+        _, text = scrape(server.url)
+        families = parse_prometheus(text)
+
+        ((_, labels, value),) = samples(families,
+                                        "repro_serve_requests_total")
+        assert labels["model"].endswith("/v1")
+        assert value == 2.0
+
+        request_counts = [v for name, _, v in samples(
+            families, "repro_serve_request_seconds")
+            if name.endswith("_count")]
+        assert request_counts == [2.0]
+        batch_counts = [v for name, _, v in samples(
+            families, "repro_batcher_batch_size")
+            if name.endswith("_count")]
+        assert sum(batch_counts) >= 2.0
+        # the session's engine runner reports through the same registry
+        assert sum(v for _, _, v in samples(
+            families, "repro_engine_images_total")) == 5.0
+        # scrape-time gauge refresh: idle server, nothing pending
+        ((_, _, pending),) = samples(families, "repro_serve_pending")
+        assert pending == 0.0
+
+    def test_latency_split_sums_to_latency(self, server, tiny_dataset):
+        response = predict_remote(server.url, "micro",
+                                  tiny_dataset.test_x[:2])
+        metrics = response["metrics"]
+        assert metrics["queue_wait_s"] >= 0.0
+        assert metrics["execute_s"] > 0.0
+        assert metrics["latency_s"] == pytest.approx(
+            metrics["queue_wait_s"] + metrics["execute_s"])
+
+    def test_healthz_channels_source_the_registry(self, server,
+                                                  tiny_dataset):
+        predict_remote(server.url, "micro", tiny_dataset.test_x[:2])
+        health = server_health(server.url)
+        ((label, channel),) = health["channels"].items()
+        assert label.endswith("/v1")
+        assert channel["requests"] == 1
+        assert channel["shed"] == 0
+        assert channel["pending"] == 0
+
+    def test_unknown_get_lists_metrics_endpoint(self, server):
+        status, payload = server.handle_models()
+        assert status == 200
+        request = urllib.request.Request(f"{server.url}/nope")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 404
+
+
+class TestFleetMetrics:
+    @pytest.fixture()
+    def fleet_server(self, micro_registry):
+        with use_registry(MetricsRegistry()):
+            with PredictionServer(micro_registry, warmup=False,
+                                  workers=2, batch_wait_s=0.05) as srv:
+                yield srv
+
+    def test_per_worker_series_and_engine_counters_merge_back(
+            self, fleet_server, tiny_dataset):
+        x = tiny_dataset.test_x[:8]
+        predict_remote(fleet_server.url, "micro", x)
+        _, text = scrape(fleet_server.url)
+        families = parse_prometheus(text)
+
+        routed = samples(families, "repro_pool_submitted_total")
+        assert sum(v for _, _, v in routed) == len(x)
+        workers = {labels["worker"] for _, labels, _ in routed}
+        assert workers <= {"0", "1"}
+        # batcher series carry (model, worker) labels
+        batch_series = samples(families, "repro_batcher_batch_size")
+        assert all(set(labels) >= {"le", "model", "worker"} or
+                   not name.endswith("_bucket")
+                   for name, labels, _ in batch_series)
+        # worker processes' engine counters rode the result pickles home
+        assert sum(v for _, _, v in samples(
+            families, "repro_engine_images_total")) == len(x)
+        # scrape-time per-worker queue gauges exist for both workers
+        pool_pending = samples(families, "repro_pool_pending")
+        assert {labels["worker"] for _, labels, _ in pool_pending} == \
+            {"0", "1"}

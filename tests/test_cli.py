@@ -209,7 +209,7 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "5/5 stage(s) from cache" in out
         cached = json.loads((tmp_path / "report.json").read_text())
-        assert cached["schema_version"] == 1
+        assert cached["schema_version"] == 2
         assert [s["status"] for s in cached["stages"]] == ["cached"] * 5
         assert cached["metrics"] == cold["metrics"]
         assert {s["name"] for s in cached["stages"]} == \
